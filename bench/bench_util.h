@@ -1,0 +1,140 @@
+// Shared plumbing for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each harness is a standalone binary that prints the
+// same rows/series the paper reports; USTL_BENCH_SCALE (default 0.2)
+// scales the generated datasets so the whole suite runs in minutes on a
+// laptop (the paper used 17k-55k-record datasets on a 128 GB server).
+#ifndef USTL_BENCH_BENCH_UTIL_H_
+#define USTL_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "consolidate/framework.h"
+#include "consolidate/oracle.h"
+#include "datagen/generators.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "wrangler/scripts.h"
+
+namespace ustl {
+namespace bench {
+
+inline double BenchScale(double fallback = 0.5) {
+  const char* env = std::getenv("USTL_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  double value = std::atof(env);
+  return value > 0 ? value : fallback;
+}
+
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("USTL_BENCH_SEED");
+  return env == nullptr ? 17 : std::strtoull(env, nullptr, 10);
+}
+
+/// The three datasets with their paper budgets (200/100/100 groups).
+struct BenchDataset {
+  GeneratedDataset data;
+  size_t budget = 100;
+  const WranglerScript* wrangler = nullptr;
+};
+
+inline std::vector<BenchDataset> MakeBenchDatasets(double scale,
+                                                   uint64_t seed) {
+  AllDatasets all = GenerateAllDatasets(scale, seed);
+  std::vector<BenchDataset> out(3);
+  out[0].data = std::move(all.author_list);
+  out[0].budget = 200;
+  out[0].wrangler = &AuthorListWranglerScript();
+  out[1].data = std::move(all.address);
+  out[1].budget = 100;
+  out[1].wrangler = &AddressWranglerScript();
+  out[2].data = std::move(all.journal_title);
+  out[2].budget = 100;
+  out[2].wrangler = &JournalTitleWranglerScript();
+  return out;
+}
+
+inline std::vector<SampledPair> SampleFor(const GeneratedDataset& data) {
+  return SampleLabeledPairs(
+      data.column,
+      [&](size_t c, size_t a, size_t b) {
+        return data.IsVariantCellPair(c, a, b);
+      },
+      1000, 7);
+}
+
+inline SimulatedOracle MakeOracle(const GeneratedDataset& data,
+                                  double error_rate = 0.0) {
+  SimulatedOracle::Options options;
+  options.error_rate = error_rate;
+  return SimulatedOracle(
+      [&data](const StringPair& pair) { return data.IsTrueVariantPair(pair); },
+      data.direction_judge, options);
+}
+
+/// Metric trajectories for one method: entry k is the confusion matrix
+/// after k groups were confirmed (entry 0 = untouched data).
+using Trajectory = std::vector<Confusion>;
+
+/// Runs the grouped pipeline (the paper's Group method) or the Single
+/// baseline once, recording the confusion matrix after every presented
+/// group.
+inline Trajectory RunBudgetTrajectory(const GeneratedDataset& data,
+                                      size_t budget, bool group_method,
+                                      bool affix = true) {
+  std::vector<SampledPair> samples = SampleFor(data);
+  Trajectory trajectory;
+  trajectory.push_back(EvaluateIdentity(data.column, samples));
+  SimulatedOracle oracle = MakeOracle(data);
+  FrameworkOptions options;
+  options.budget_per_column = budget;
+  options.grouping.graph.enable_affix = affix;
+  options.progress_callback = [&](size_t, const Column& column) {
+    trajectory.push_back(EvaluateIdentity(column, samples));
+  };
+  Column column = data.column;
+  if (group_method) {
+    StandardizeColumn(&column, &oracle, options);
+  } else {
+    StandardizeColumnSingle(&column, &oracle, options);
+  }
+  // Pad to full budget (exhausted early = metrics freeze).
+  while (trajectory.size() <= budget) trajectory.push_back(trajectory.back());
+  return trajectory;
+}
+
+/// The wrangler baseline's (budget-independent) confusion matrix.
+inline Confusion RunWrangler(const BenchDataset& bench) {
+  std::vector<SampledPair> samples = SampleFor(bench.data);
+  Column column = bench.data.column;
+  bench.wrangler->ApplyToColumn(&column);
+  return EvaluateIdentity(column, samples);
+}
+
+/// Prints one figure panel (x = #groups confirmed, series Trifacta /
+/// Single / Group) for the metric selected by `metric`.
+inline void PrintFigurePanel(const std::string& figure,
+                             const BenchDataset& bench,
+                             double (*metric)(const Confusion&)) {
+  Trajectory group = RunBudgetTrajectory(bench.data, bench.budget, true);
+  Trajectory single = RunBudgetTrajectory(bench.data, bench.budget, false);
+  Confusion wrangler = RunWrangler(bench);
+  std::vector<std::vector<double>> rows;
+  size_t step = bench.budget >= 200 ? 20 : 10;
+  for (size_t k = 0; k <= bench.budget; k += step) {
+    rows.push_back({static_cast<double>(k), metric(wrangler),
+                    metric(single[k]), metric(group[k])});
+  }
+  printf("%s", RenderSeries(figure + " — " + bench.data.name,
+                            {"groups_confirmed", "Trifacta", "Single",
+                             "Group"},
+                            rows)
+                   .c_str());
+  printf("\n");
+}
+
+}  // namespace bench
+}  // namespace ustl
+
+#endif  // USTL_BENCH_BENCH_UTIL_H_

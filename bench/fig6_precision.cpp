@@ -1,0 +1,19 @@
+// Figure 6: precision of standardizing variant values as a function of the
+// number of replacement groups confirmed by the human, for the three
+// datasets and the three methods (Trifacta baseline, Single, Group).
+// Expected shape (paper): Single = 1.0, Group >= 0.99, Trifacta >= 0.97.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ustl;
+  using namespace ustl::bench;
+  printf("=== Figure 6: precision vs #groups confirmed (scale=%.2f) ===\n\n",
+         BenchScale());
+  for (const BenchDataset& bench : MakeBenchDatasets(BenchScale(),
+                                                     BenchSeed())) {
+    PrintFigurePanel("Figure 6 (precision)", bench, &Precision);
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Micro-kernels (google-benchmark): transformation-graph construction,
+// inverted-index build, posting-list intersection, pivot search, candidate
+// generation, and structure signatures. These are the inner loops behind
+// Figure 9.
+#include <benchmark/benchmark.h>
+
+#include "datagen/generators.h"
+#include "graph/graph_builder.h"
+#include "grouping/grouping.h"
+#include "grouping/pivot_search.h"
+#include "index/inverted_index.h"
+#include "replace/candidate_gen.h"
+#include "consolidate/fusion.h"
+#include "dsl/parser.h"
+#include "io/csv.h"
+#include "text/alignment.h"
+#include "text/structure.h"
+
+namespace ustl {
+namespace {
+
+const std::vector<StringPair>& NamePairs() {
+  static const auto& pairs = *new std::vector<StringPair>{
+      {"Lee, Mary", "M. Lee"},       {"Smith, James", "J. Smith"},
+      {"Brown, Anna", "A. Brown"},   {"Clark, Susan", "S. Clark"},
+      {"Walker, John", "J. Walker"}, {"Turner, Ruth", "R. Turner"},
+      {"Street", "St"},              {"Avenue", "Ave"},
+      {"Boulevard", "Blvd"},         {"Wisconsin", "WI"},
+      {"9th", "9"},                  {"3rd", "3"},
+  };
+  return pairs;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    LabelInterner interner;
+    GraphBuilder builder(GraphBuilderOptions{}, &interner);
+    for (const StringPair& pair : NamePairs()) {
+      benchmark::DoNotOptimize(builder.Build(pair.lhs, pair.rhs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(NamePairs().size()));
+}
+BENCHMARK(BM_GraphBuild);
+
+void BM_IndexBuild(benchmark::State& state) {
+  LabelInterner interner;
+  GraphBuilder builder(GraphBuilderOptions{}, &interner);
+  std::vector<TransformationGraph> graphs;
+  for (const StringPair& pair : NamePairs()) {
+    graphs.push_back(std::move(builder.Build(pair.lhs, pair.rhs)).value());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InvertedIndex::Build(graphs));
+  }
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_PostingExtend(benchmark::State& state) {
+  PostingList current, label;
+  for (uint32_t g = 0; g < 256; ++g) {
+    current.push_back(Posting{g, 1, static_cast<int>(g % 7) + 2});
+    label.push_back(Posting{g, static_cast<int>(g % 7) + 2, 12});
+  }
+  std::vector<char> alive(256, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InvertedIndex::Extend(current, label, &alive));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PostingExtend);
+
+void BM_PivotSearch(benchmark::State& state) {
+  LabelInterner interner;
+  GraphBuilder builder(GraphBuilderOptions{}, &interner);
+  GraphSet set = std::move(GraphSet::Build(NamePairs(), builder)).value();
+  PivotSearcher searcher(&set, PivotSearcher::Options{});
+  for (auto _ : state) {
+    std::vector<int> lower_bounds(set.size(), 1);
+    for (GraphId g = 0; g < set.size(); ++g) {
+      benchmark::DoNotOptimize(searcher.Search(g, 0, &lower_bounds));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(set.size()));
+}
+BENCHMARK(BM_PivotSearch);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  AddressGenOptions options;
+  options.scale = 0.03;
+  GeneratedDataset data = GenerateAddressDataset(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCandidates(data.column, CandidateGenOptions{}));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_TokenLcsAlign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TokenLcsAlign("9 East Oak Street, 02141 Wisconsin",
+                      "9th E Oak St, 02141 WI"));
+  }
+}
+BENCHMARK(BM_TokenLcsAlign);
+
+void BM_StructureSignature(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StructureOf("9th E Oak St, 02141 WI"));
+  }
+}
+BENCHMARK(BM_StructureSignature);
+
+void BM_EndToEndGrouping(benchmark::State& state) {
+  AddressGenOptions options;
+  options.scale = 0.03;
+  GeneratedDataset data = GenerateAddressDataset(options);
+  CandidateSet candidates =
+      GenerateCandidates(data.column, CandidateGenOptions{});
+  for (auto _ : state) {
+    GroupingEngine engine(candidates.pairs, GroupingOptions{});
+    size_t count = 0;
+    while (count < 20 && engine.Next().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EndToEndGrouping);
+
+void BM_CsvParse(benchmark::State& state) {
+  // A realistic clustered CSV chunk with quoting.
+  std::string doc = "cluster,value\n";
+  for (int i = 0; i < 200; ++i) {
+    doc += "c" + std::to_string(i / 4) + ",\"" + std::to_string(i) +
+           "th St, 02141 \"\"WI\"\"\"\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseCsv(doc));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_ProgramParseRoundTrip(benchmark::State& state) {
+  Term tc = Term::Regex(CharClass::kUpper);
+  Term tl = Term::Regex(CharClass::kLower);
+  Term tb = Term::Regex(CharClass::kSpace);
+  Program program({
+      StringFn::SubStr(PosFn::MatchPos(tb, 1, Dir::kEnd),
+                       PosFn::MatchPos(tc, -1, Dir::kEnd)),
+      StringFn::ConstantStr(". "),
+      StringFn::SubStr(PosFn::MatchPos(tc, 1, Dir::kBegin),
+                       PosFn::MatchPos(tl, 1, Dir::kEnd)),
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseProgram(SerializeProgram(program)));
+  }
+}
+BENCHMARK(BM_ProgramParseRoundTrip);
+
+void BM_TruthFinderIteration(benchmark::State& state) {
+  // 200 clusters x 5 sources with disagreement.
+  Column column(200);
+  SourceMatrix sources(200);
+  for (size_t c = 0; c < column.size(); ++c) {
+    for (int s = 0; s < 5; ++s) {
+      column[c].push_back(s % 2 == 0 ? "t" + std::to_string(c)
+                                     : "w" + std::to_string(c) +
+                                           std::to_string(s));
+      sources[c].push_back(s);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TruthFinder(column, sources, 5));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TruthFinderIteration);
+
+}  // namespace
+}  // namespace ustl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 6: dataset statistics — cluster sizes, distinct in-cluster value
+// pairs, and the variant/conflict pair split, for the three generated
+// dataset analogs. Expected shape (paper): AuthorList has the largest
+// clusters, JournalTitle the smallest and the highest variant fraction
+// (74%), Address the most conflict-heavy mix (18% variant).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ustl;
+  using namespace ustl::bench;
+  printf("=== Table 6: dataset details (scale=%.2f) ===\n\n", BenchScale());
+  TextTable table({"", "AuthorList", "Address", "JournalTitle"});
+  std::vector<DatasetStats> stats;
+  for (const BenchDataset& bench : MakeBenchDatasets(BenchScale(),
+                                                     BenchSeed())) {
+    stats.push_back(ComputeStats(bench.data));
+  }
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const DatasetStats& s : stats) cells.push_back(getter(s));
+    table.AddRow(cells);
+  };
+  row("records", [](const DatasetStats& s) {
+    return std::to_string(s.num_records);
+  });
+  row("clusters", [](const DatasetStats& s) {
+    return std::to_string(s.num_clusters);
+  });
+  row("avg/min/max cluster size", [](const DatasetStats& s) {
+    return Fmt(s.avg_cluster_size, 1) + "/" +
+           std::to_string(s.min_cluster_size) + "/" +
+           std::to_string(s.max_cluster_size);
+  });
+  row("# of distinct value pairs", [](const DatasetStats& s) {
+    return std::to_string(s.distinct_value_pairs);
+  });
+  row("variant value pairs %", [](const DatasetStats& s) {
+    return Fmt(100 * s.variant_pair_fraction, 1) + "%";
+  });
+  row("conflict value pairs %", [](const DatasetStats& s) {
+    return Fmt(100 * s.conflict_pair_fraction, 1) + "%";
+  });
+  printf("%s\n", table.Render().c_str());
+  printf("Paper (full-size originals): avg cluster 26.9/5.8/1.8, variant%% "
+         "26.5/18/74.\n");
+  return 0;
+}

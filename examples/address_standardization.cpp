@@ -1,0 +1,66 @@
+// Address standardization: the paper's headline scenario (17,497 NYC
+// funding applications clustered by EIN). Generates the Address analog,
+// runs the budgeted verification loop with a ground-truth-backed oracle,
+// prints the groups the "human" saw, and reports precision/recall/MCC on
+// 1000 labelled sample pairs — the Section 8 protocol.
+//
+//   $ ./examples/address_standardization [scale] [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "consolidate/framework.h"
+#include "consolidate/oracle.h"
+#include "datagen/generators.h"
+#include "eval/metrics.h"
+
+using namespace ustl;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  size_t budget = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 100;
+
+  AddressGenOptions gen;
+  gen.scale = scale;
+  GeneratedDataset data = GenerateAddressDataset(gen);
+  DatasetStats stats = ComputeStats(data);
+  printf("Address analog: %zu records in %zu clusters, %zu distinct value "
+         "pairs (%.0f%% variant)\n\n",
+         stats.num_records, stats.num_clusters, stats.distinct_value_pairs,
+         100 * stats.variant_pair_fraction);
+
+  // Label 1000 sample pairs before touching anything (Section 8 metrics).
+  auto samples = SampleLabeledPairs(
+      data.column,
+      [&](size_t c, size_t a, size_t b) {
+        return data.IsVariantCellPair(c, a, b);
+      },
+      1000, 7);
+
+  SimulatedOracle oracle(
+      [&](const StringPair& pair) { return data.IsTrueVariantPair(pair); },
+      data.direction_judge, SimulatedOracle::Options{});
+
+  FrameworkOptions options;
+  options.budget_per_column = budget;
+  Column column = data.column;
+  ColumnRunResult result = StandardizeColumn(&column, &oracle, options);
+
+  printf("presented %zu groups, human approved %zu, %zu cell edits\n\n",
+         result.groups_presented, result.groups_approved, result.edits);
+  printf("First groups shown to the human:\n");
+  for (size_t i = 0; i < result.trace.size() && i < 8; ++i) {
+    const GroupTrace& trace = result.trace[i];
+    printf("  group %zu (size %zu) %s — e.g. \"%s\" -> \"%s\"\n", i + 1,
+           trace.size, trace.approved ? "APPROVED" : "rejected",
+           trace.sample_pairs.empty() ? "" : trace.sample_pairs[0].lhs.c_str(),
+           trace.sample_pairs.empty() ? "" : trace.sample_pairs[0].rhs.c_str());
+  }
+
+  Confusion confusion = EvaluateIdentity(column, samples);
+  printf("\nStandardization quality on %zu labelled pairs:\n",
+         samples.size());
+  printf("  precision = %.3f   recall = %.3f   MCC = %.3f\n",
+         Precision(confusion), Recall(confusion), Mcc(confusion));
+  printf("  (paper at full scale, 100 groups: precision .995, recall .75)\n");
+  return 0;
+}

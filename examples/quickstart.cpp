@@ -1,0 +1,66 @@
+// Quickstart: the paper's running example end to end.
+//
+// Takes Table 1's Name column (two clusters of duplicate records), asks
+// the library to group the candidate replacements by shared transformation
+// program, and standardizes the column by approving every group — printing
+// every intermediate artifact along the way.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "consolidate/framework.h"
+#include "consolidate/oracle.h"
+#include "grouping/grouping.h"
+#include "replace/replacement_store.h"
+
+using namespace ustl;
+
+int main() {
+  // Table 1's Name column: clusters of duplicate records produced by
+  // entity resolution (upstream of this library).
+  Column column = {
+      {"Mary Lee", "M. Lee", "Lee, Mary"},
+      {"Smith, James", "James Smith", "J. Smith"},
+  };
+
+  printf("== Input clusters ==\n");
+  for (size_t c = 0; c < column.size(); ++c) {
+    printf("cluster %zu:", c);
+    for (const std::string& value : column[c]) printf("  [%s]", value.c_str());
+    printf("\n");
+  }
+
+  // Step 1 (Section 3): candidate replacements — every ordered pair of
+  // non-identical values within a cluster, plus LCS-aligned segments.
+  ReplacementStore store(column, CandidateGenOptions{});
+  printf("\n== %zu candidate replacements (phi) ==\n", store.num_pairs());
+
+  // Step 2: unsupervised grouping — candidates sharing a transformation
+  // program (pivot path) and structure form one group.
+  GroupingEngine engine(store.pairs(), GroupingOptions{});
+  printf("\n== Replacement groups, largest first ==\n");
+  std::vector<Group> groups;
+  while (auto group = engine.Next()) {
+    printf("group of %zu  [%s]\n", group->size(), group->program.c_str());
+    for (size_t index : group->member_pair_indices) {
+      const StringPair& pair = store.pair(index);
+      printf("    \"%s\" -> \"%s\"\n", pair.lhs.c_str(), pair.rhs.c_str());
+    }
+    groups.push_back(std::move(*group));
+  }
+
+  // Step 3: a human verifies groups in decreasing size order and approved
+  // ones are applied. Here an auto-approving oracle plays the human.
+  ApproveAllOracle oracle;
+  FrameworkOptions options;
+  options.budget_per_column = 10;
+  StandardizeColumn(&column, &oracle, options);
+
+  printf("\n== Standardized clusters ==\n");
+  for (size_t c = 0; c < column.size(); ++c) {
+    printf("cluster %zu:", c);
+    for (const std::string& value : column[c]) printf("  [%s]", value.c_str());
+    printf("\n");
+  }
+  return 0;
+}

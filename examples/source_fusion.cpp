@@ -1,0 +1,99 @@
+// Source-aware fusion: standardization as a pre-processing step for
+// truth discovery (the Section 9 story, runnable).
+//
+// Generates the Address analog, attributes every record to one of six
+// simulated data sources with known reliabilities, and compares three
+// fusion methods — majority consensus, TruthFinder, and the Bayesian
+// accuracy model — before and after the pipeline standardizes the
+// variants. The punchline: variant spellings break the textual agreement
+// signal the iterative methods learn from; standardization restores it,
+// and the learned source trust snaps to the ground-truth ordering.
+//
+//   $ ./examples/source_fusion
+#include <cstdio>
+
+#include "consolidate/framework.h"
+#include "consolidate/fusion.h"
+#include "consolidate/oracle.h"
+#include "datagen/generators.h"
+#include "datagen/sources.h"
+
+using namespace ustl;
+
+namespace {
+
+void PrintTrust(const char* tag, const std::vector<double>& trust) {
+  printf("  %-18s", tag);
+  for (double t : trust) printf("  %.3f", t);
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  AddressGenOptions gen;
+  gen.scale = 0.25;
+  GeneratedDataset data = GenerateAddressDataset(gen);
+
+  SourceModelOptions source_options;
+  source_options.num_sources = 6;
+  SourceAssignment sources = AssignSources(data, source_options);
+  printf("== 6 simulated sources, ground-truth reliability ==\n");
+  PrintTrust("configured", sources.reliability);
+  PrintTrust("empirical", sources.EmpiricalReliability(data));
+
+  const size_t n = sources.num_sources();
+  FusionResult tf_before = TruthFinder(data.column, sources.source_of, n);
+  FusionResult accu_before = AccuFusion(data.column, sources.source_of, n);
+
+  printf("\n== learned trust BEFORE standardization ==\n");
+  PrintTrust("TruthFinder", tf_before.source_trust);
+  PrintTrust("Accu", accu_before.source_trust);
+  printf("  (variant spellings hide the agreement signal: nearly flat)\n");
+
+  // Standardize with the simulated expert.
+  SimulatedOracle oracle(
+      [&](const StringPair& pair) { return data.IsTrueVariantPair(pair); },
+      data.direction_judge, SimulatedOracle::Options{});
+  FrameworkOptions options;
+  options.budget_per_column = 100;
+  Column column = data.column;
+  ColumnRunResult run = StandardizeColumn(&column, &oracle, options);
+  printf("\nstandardized: %zu groups approved, %zu edits\n",
+         run.groups_approved, run.edits);
+
+  FusionResult tf_after = TruthFinder(column, sources.source_of, n);
+  FusionResult accu_after = AccuFusion(column, sources.source_of, n);
+  printf("\n== learned trust AFTER standardization ==\n");
+  PrintTrust("TruthFinder", tf_after.source_trust);
+  PrintTrust("Accu", accu_after.source_trust);
+  printf("  (monotone in the configured reliability)\n");
+
+  // Fused golden values, counted against cluster ground truth.
+  auto count_correct = [&](const Column& col,
+                           const std::vector<std::optional<std::string>>&
+                               golden) {
+    size_t correct = 0;
+    for (size_t c = 0; c < col.size(); ++c) {
+      if (!golden[c].has_value()) continue;
+      for (size_t r = 0; r < col[c].size(); ++r) {
+        if (col[c][r] == *golden[c] &&
+            data.cell_truth[c][r] == data.cluster_true_id[c]) {
+          ++correct;
+          break;
+        }
+      }
+    }
+    return correct;
+  };
+  printf("\n== clusters fused to a ground-truth-correct value ==\n");
+  printf("  %-18s  before  after\n", "method");
+  printf("  %-18s  %zu      %zu\n", "TruthFinder",
+         count_correct(data.column, tf_before.golden),
+         count_correct(column, tf_after.golden));
+  printf("  %-18s  %zu      %zu\n", "Accu",
+         count_correct(data.column, accu_before.golden),
+         count_correct(column, accu_after.golden));
+  printf("  (of %zu clusters)\n", column.size());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for data generators,
+// sampling and tests. All randomness in the library flows through Rng so
+// that every experiment is reproducible from a single seed.
+#ifndef USTL_COMMON_RANDOM_H_
+#define USTL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustl {
+
+/// A seeded Mersenne-Twister wrapper with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    USTL_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Geometric-ish cluster size draw in [1, max]: heavy mass at small
+  /// sizes with a long tail, mimicking the skewed cluster sizes in Table 6.
+  int64_t SkewedSize(double mean, int64_t max) {
+    USTL_CHECK(mean > 1.0);
+    std::geometric_distribution<int64_t> dist(1.0 / mean);
+    int64_t v = 1 + dist(engine_);
+    return v > max ? max : v;
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights) {
+    USTL_CHECK(!weights.empty());
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    USTL_CHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_COMMON_RANDOM_H_

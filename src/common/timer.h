@@ -1,0 +1,36 @@
+// Wall-clock timing for the benchmark harnesses (Figure 9 and the
+// ablations). Monotonic clock, microsecond resolution.
+#ifndef USTL_COMMON_TIMER_H_
+#define USTL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ustl {
+
+/// Starts at construction; ElapsedSeconds()/ElapsedMicros() read the
+/// monotonic clock without stopping the timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_COMMON_TIMER_H_

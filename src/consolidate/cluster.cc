@@ -1,0 +1,48 @@
+#include "consolidate/cluster.h"
+
+#include "common/status.h"
+
+namespace ustl {
+
+size_t Table::num_records() const {
+  size_t count = 0;
+  for (const auto& cluster : rows_) count += cluster.size();
+  return count;
+}
+
+size_t Table::AddCluster() {
+  rows_.emplace_back();
+  return rows_.size() - 1;
+}
+
+void Table::AddRecord(size_t cluster, std::vector<std::string> values) {
+  USTL_CHECK(cluster < rows_.size());
+  USTL_CHECK(values.size() == num_columns());
+  rows_[cluster].push_back(std::move(values));
+}
+
+Column Table::ExtractColumn(size_t col) const {
+  USTL_CHECK(col < num_columns());
+  Column out;
+  out.reserve(rows_.size());
+  for (const auto& cluster : rows_) {
+    std::vector<std::string> values;
+    values.reserve(cluster.size());
+    for (const auto& record : cluster) values.push_back(record[col]);
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+void Table::StoreColumn(size_t col, const Column& column) {
+  USTL_CHECK(col < num_columns());
+  USTL_CHECK(column.size() == rows_.size());
+  for (size_t c = 0; c < rows_.size(); ++c) {
+    USTL_CHECK(column[c].size() == rows_[c].size());
+    for (size_t r = 0; r < rows_[c].size(); ++r) {
+      rows_[c][r][col] = column[c][r];
+    }
+  }
+}
+
+}  // namespace ustl

@@ -1,0 +1,58 @@
+// The clustered-records data model (Definition 1). Entity resolution is
+// upstream of the paper; its output — clusters of duplicate records — is
+// our input. A Table holds m named columns over a set of clusters;
+// Algorithm 1 standardizes each column and then runs truth discovery.
+#ifndef USTL_CONSOLIDATE_CLUSTER_H_
+#define USTL_CONSOLIDATE_CLUSTER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replace/replacement.h"
+
+namespace ustl {
+
+/// Clustered records: clusters()[c][r] is record r of cluster c, a vector
+/// of m attribute values.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  size_t num_columns() const { return column_names_.size(); }
+  size_t num_clusters() const { return rows_.size(); }
+  size_t num_records() const;
+
+  /// Appends an empty cluster and returns its index.
+  size_t AddCluster();
+  /// Appends a record (must have num_columns() values) to cluster c.
+  void AddRecord(size_t cluster, std::vector<std::string> values);
+
+  const std::vector<std::vector<std::string>>& cluster(size_t c) const {
+    return rows_[c];
+  }
+
+  /// Extracts column `col` as clusters of values (the unit Algorithm 1
+  /// standardizes).
+  Column ExtractColumn(size_t col) const;
+  /// Writes a standardized column back; shape must match.
+  void StoreColumn(size_t col, const Column& column);
+
+ private:
+  std::vector<std::string> column_names_;
+  // rows_[c][r][col]
+  std::vector<std::vector<std::vector<std::string>>> rows_;
+};
+
+/// A golden record: one optional value per column (nullopt when truth
+/// discovery could not decide, e.g. a tie under majority consensus).
+using GoldenRecord = std::vector<std::optional<std::string>>;
+
+}  // namespace ustl
+
+#endif  // USTL_CONSOLIDATE_CLUSTER_H_

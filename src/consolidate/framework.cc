@@ -1,0 +1,134 @@
+#include "consolidate/framework.h"
+
+#include <algorithm>
+
+namespace ustl {
+
+ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
+                                  const FrameworkOptions& options) {
+  ColumnRunResult result;
+  ReplacementStore store(*column, options.candidates);
+
+  // The engine groups a snapshot of Phi; store indices are stable, so the
+  // group members map back even after edits (stale occurrences are checked
+  // at apply time, Section 7.1).
+  GroupingEngine engine(store.pairs(), options.grouping);
+
+  while (result.groups_presented < options.budget_per_column) {
+    std::optional<Group> group = engine.Next();
+    if (!group.has_value()) break;
+    if (options.skip_singletons && group->size() <= 1) continue;
+    if (options.skip_constant_pivot_groups && group->pure_constant) continue;
+    if (group->constant_coverage > options.max_constant_coverage) continue;
+    if (options.skip_dead_groups) {
+      bool any_live = false;
+      for (size_t pair_index : group->member_pair_indices) {
+        if (!store.occurrences(pair_index).empty()) {
+          any_live = true;
+          break;
+        }
+      }
+      if (!any_live) continue;  // Section 7.1: these replacements are gone
+    }
+
+    std::vector<StringPair> group_pairs;
+    group_pairs.reserve(group->size());
+    for (size_t pair_index : group->member_pair_indices) {
+      group_pairs.push_back(store.pair(pair_index));
+    }
+
+    ++result.groups_presented;
+    Verdict verdict = oracle->Verify(group_pairs);
+
+    GroupTrace trace;
+    trace.size = group->size();
+    trace.approved = verdict.approved;
+    trace.direction = verdict.direction;
+    trace.structure = group->structure;
+    trace.program = group->program;
+    for (size_t i = 0; i < group_pairs.size() && i < 5; ++i) {
+      trace.sample_pairs.push_back(group_pairs[i]);
+    }
+
+    if (verdict.approved) {
+      ++result.groups_approved;
+      size_t edits = 0;
+      for (size_t pair_index : group->member_pair_indices) {
+        edits += verdict.direction == ReplaceDirection::kLhsToRhs
+                     ? store.Apply(pair_index)
+                     : store.ApplyReverse(pair_index);
+      }
+      trace.edits = edits;
+      result.edits += edits;
+    }
+    result.trace.push_back(std::move(trace));
+    if (options.progress_callback) {
+      options.progress_callback(result.groups_presented, store.column());
+    }
+  }
+
+  *column = store.column();
+  return result;
+}
+
+ColumnRunResult StandardizeColumnSingle(Column* column,
+                                        VerificationOracle* oracle,
+                                        const FrameworkOptions& options) {
+  ColumnRunResult result;
+  ReplacementStore store(*column, options.candidates);
+
+  // All "groups" have one member, so size ranking is vacuous; the paper's
+  // Single shows candidates in generation order. Optionally rank by
+  // replacement-set size (a stronger variant).
+  std::vector<size_t> order(store.num_pairs());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.single_rank_by_occurrences) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return store.occurrences(a).size() > store.occurrences(b).size();
+    });
+  }
+
+  for (size_t index : order) {
+    if (result.groups_presented >= options.budget_per_column) break;
+    if (options.skip_dead_groups && store.occurrences(index).empty()) {
+      continue;
+    }
+    ++result.groups_presented;
+    std::vector<StringPair> group_pairs = {store.pair(index)};
+    Verdict verdict = oracle->Verify(group_pairs);
+    GroupTrace trace;
+    trace.size = 1;
+    trace.approved = verdict.approved;
+    trace.direction = verdict.direction;
+    trace.sample_pairs = group_pairs;
+    if (verdict.approved) {
+      ++result.groups_approved;
+      size_t edits = verdict.direction == ReplaceDirection::kLhsToRhs
+                         ? store.Apply(index)
+                         : store.ApplyReverse(index);
+      trace.edits = edits;
+      result.edits += edits;
+    }
+    result.trace.push_back(std::move(trace));
+    if (options.progress_callback) {
+      options.progress_callback(result.groups_presented, store.column());
+    }
+  }
+
+  *column = store.column();
+  return result;
+}
+
+GoldenRecordRun GoldenRecordCreation(Table* table, VerificationOracle* oracle,
+                                     const FrameworkOptions& options) {
+  GoldenRecordRun run;
+  for (size_t col = 0; col < table->num_columns(); ++col) {
+    Column column = table->ExtractColumn(col);
+    run.per_column.push_back(StandardizeColumn(&column, oracle, options));
+    table->StoreColumn(col, column);
+  }
+  run.golden_records = MajorityConsensus(*table);
+  return run;
+}
+
+}  // namespace ustl

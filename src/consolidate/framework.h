@@ -1,0 +1,98 @@
+// The golden-record construction framework (Algorithm 1): per column,
+// generate candidate replacements, group them (incrementally, Section 6),
+// present groups to the human in decreasing size order until the budget is
+// exhausted, apply approved groups, and finally run truth discovery.
+#ifndef USTL_CONSOLIDATE_FRAMEWORK_H_
+#define USTL_CONSOLIDATE_FRAMEWORK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consolidate/cluster.h"
+#include "consolidate/oracle.h"
+#include "consolidate/truth_discovery.h"
+#include "grouping/grouping.h"
+#include "replace/replacement_store.h"
+
+namespace ustl {
+
+struct FrameworkOptions {
+  CandidateGenOptions candidates;
+  GroupingOptions grouping;
+  /// Groups presented to the human per column (the budget of Section 3).
+  size_t budget_per_column = 100;
+  /// Groups of size 1 carry no repetition evidence; the paper's Single
+  /// baseline presents them one by one. When false, singleton groups are
+  /// still presented (they count against the budget).
+  bool skip_singletons = false;
+  /// Skip groups whose pivot is a single full-width ConstantStr ("replace
+  /// anything by this exact value"). Those are repeated-conflict artifacts,
+  /// not transformations, and would waste human budget; skipping them does
+  /// not consume budget. See Group::pure_constant.
+  bool skip_constant_pivot_groups = true;
+  /// Skip groups whose pivot program is mostly "emit this literal":
+  /// constant coverage above this fraction (Group::constant_coverage).
+  /// Variant families always exist in both directions, and the
+  /// low-coverage direction survives, so no transformation is lost.
+  /// Set to 1.0 to disable.
+  double max_constant_coverage = 0.7;
+  /// Skip groups all of whose member replacements have empty replacement
+  /// sets (Section 7.1: a replacement whose set became empty "no longer
+  /// exists" and is removed from Phi). Typically the mirror of an already
+  /// applied group. Does not consume budget.
+  bool skip_dead_groups = true;
+  /// Single-baseline presentation order. The paper's Single has no size
+  /// signal (all groups have one member), so candidates are shown in
+  /// generation order; enabling this ranks them by replacement-set size
+  /// instead, a strictly stronger variant than the paper's.
+  bool single_rank_by_occurrences = false;
+  /// Called after every presented group with the number of groups
+  /// presented so far and the current column state. Lets the benchmark
+  /// harnesses measure precision/recall/MCC as a function of the budget
+  /// (x-axis of Figures 6-8) in a single pass. May be null.
+  std::function<void(size_t, const Column&)> progress_callback;
+};
+
+/// One presented group, for reports and the examples.
+struct GroupTrace {
+  size_t size = 0;
+  bool approved = false;
+  ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
+  size_t edits = 0;
+  std::string structure;
+  std::string program;
+  std::vector<StringPair> sample_pairs;  // up to 5, for display
+};
+
+struct ColumnRunResult {
+  size_t groups_presented = 0;
+  size_t groups_approved = 0;
+  size_t edits = 0;
+  std::vector<GroupTrace> trace;
+};
+
+/// Standardizes one column in place (Algorithm 1 lines 2-9 for one Ci).
+ColumnRunResult StandardizeColumn(Column* column,
+                                  VerificationOracle* oracle,
+                                  const FrameworkOptions& options);
+
+/// The paper's Single baseline: no grouping — every candidate replacement
+/// is a group by itself, presented in decreasing replacement-set size
+/// (most 'profitable' first) until the budget runs out.
+ColumnRunResult StandardizeColumnSingle(Column* column,
+                                        VerificationOracle* oracle,
+                                        const FrameworkOptions& options);
+
+/// Full Algorithm 1: standardize every column of the table with the same
+/// oracle/budget, then return MC golden records.
+struct GoldenRecordRun {
+  std::vector<ColumnRunResult> per_column;
+  std::vector<GoldenRecord> golden_records;
+};
+GoldenRecordRun GoldenRecordCreation(Table* table, VerificationOracle* oracle,
+                                     const FrameworkOptions& options);
+
+}  // namespace ustl
+
+#endif  // USTL_CONSOLIDATE_FRAMEWORK_H_

@@ -1,0 +1,288 @@
+#include "consolidate/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/status.h"
+#include "consolidate/truth_discovery.h"
+
+namespace ustl {
+namespace {
+
+// Distinct claimed values of one cluster with their supporter source ids
+// (one entry per record; a source claiming twice counts twice, matching
+// the record-granularity of the paper's clusters).
+struct ClusterClaims {
+  std::vector<std::string> values;             // distinct, sorted
+  std::vector<std::vector<int>> supporters;    // parallel to values
+};
+
+ClusterClaims CollectClaims(const std::vector<std::string>& cluster,
+                            const std::vector<int>& cluster_sources) {
+  USTL_CHECK(cluster.size() == cluster_sources.size());
+  std::map<std::string, std::vector<int>> by_value;
+  for (size_t r = 0; r < cluster.size(); ++r) {
+    by_value[cluster[r]].push_back(cluster_sources[r]);
+  }
+  ClusterClaims claims;
+  claims.values.reserve(by_value.size());
+  claims.supporters.reserve(by_value.size());
+  for (auto& [value, supporters] : by_value) {
+    claims.values.push_back(value);
+    claims.supporters.push_back(std::move(supporters));
+  }
+  return claims;
+}
+
+// Argmax over scores; on an exact tie the lexicographically smallest
+// value wins for the iterative methods (scores are continuous, exact ties
+// mean identical evidence) — values are already sorted, so the first max
+// is that value.
+size_t ArgMax(const std::vector<double>& scores) {
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
+void ValidateSources(const Column& column, const SourceMatrix& sources,
+                     size_t num_sources) {
+  USTL_CHECK(column.size() == sources.size());
+  for (size_t c = 0; c < column.size(); ++c) {
+    USTL_CHECK(column[c].size() == sources[c].size());
+    for (int s : sources[c]) {
+      USTL_CHECK(s >= 0 && static_cast<size_t>(s) < num_sources);
+    }
+  }
+}
+
+}  // namespace
+
+FusionResult WeightedVote(const Column& column, const SourceMatrix& sources,
+                          const std::vector<double>& weights) {
+  ValidateSources(column, sources, weights.size());
+  FusionResult result;
+  result.source_trust = weights;
+  result.iterations = 1;
+  result.golden.reserve(column.size());
+  for (size_t c = 0; c < column.size(); ++c) {
+    ClusterClaims claims = CollectClaims(column[c], sources[c]);
+    if (claims.values.empty()) {
+      result.golden.emplace_back(std::nullopt);
+      continue;
+    }
+    std::vector<double> scores(claims.values.size(), 0.0);
+    for (size_t v = 0; v < claims.values.size(); ++v) {
+      for (int s : claims.supporters[v]) scores[v] += weights[s];
+    }
+    size_t best = ArgMax(scores);
+    // MC tie semantics: a distinct value with the same score blocks the
+    // decision.
+    bool tie = false;
+    for (size_t v = 0; v < scores.size(); ++v) {
+      if (v != best && scores[v] == scores[best]) tie = true;
+    }
+    if (tie) {
+      result.golden.emplace_back(std::nullopt);
+    } else {
+      result.golden.emplace_back(claims.values[best]);
+    }
+  }
+  return result;
+}
+
+FusionResult TruthFinder(const Column& column, const SourceMatrix& sources,
+                         size_t num_sources,
+                         const TruthFinderOptions& options) {
+  ValidateSources(column, sources, num_sources);
+  std::vector<double> trust(num_sources, options.initial_trust);
+
+  // Pre-collect claims once; the iteration only touches scores.
+  std::vector<ClusterClaims> claims;
+  claims.reserve(column.size());
+  for (size_t c = 0; c < column.size(); ++c) {
+    claims.push_back(CollectClaims(column[c], sources[c]));
+  }
+
+  auto tau = [&](int s) {
+    const double t =
+        std::clamp(trust[s], options.clamp, 1.0 - options.clamp);
+    return -std::log(1.0 - t);
+  };
+  auto confidence = [&](double sigma) {
+    return 1.0 / (1.0 + std::exp(-options.dampening * sigma));
+  };
+
+  int iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    std::vector<double> sum(num_sources, 0.0);
+    std::vector<int> count(num_sources, 0);
+    for (const ClusterClaims& cluster : claims) {
+      for (size_t v = 0; v < cluster.values.size(); ++v) {
+        double sigma = 0.0;
+        for (int s : cluster.supporters[v]) sigma += tau(s);
+        const double conf = confidence(sigma);
+        for (int s : cluster.supporters[v]) {
+          sum[s] += conf;
+          ++count[s];
+        }
+      }
+    }
+    double delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      const double updated = count[s] == 0 ? trust[s] : sum[s] / count[s];
+      delta = std::max(delta, std::abs(updated - trust[s]));
+      trust[s] = updated;
+    }
+    if (delta < options.convergence) {
+      ++iterations;
+      break;
+    }
+  }
+
+  FusionResult result;
+  result.iterations = iterations;
+  result.source_trust = trust;
+  result.golden.reserve(column.size());
+  for (const ClusterClaims& cluster : claims) {
+    if (cluster.values.empty()) {
+      result.golden.emplace_back(std::nullopt);
+      continue;
+    }
+    std::vector<double> scores(cluster.values.size(), 0.0);
+    for (size_t v = 0; v < cluster.values.size(); ++v) {
+      for (int s : cluster.supporters[v]) scores[v] += tau(s);
+    }
+    result.golden.emplace_back(cluster.values[ArgMax(scores)]);
+  }
+  return result;
+}
+
+FusionResult AccuFusion(const Column& column, const SourceMatrix& sources,
+                        size_t num_sources, const AccuOptions& options) {
+  ValidateSources(column, sources, num_sources);
+  USTL_CHECK(options.num_false_values >= 1);
+  std::vector<double> accuracy(num_sources, options.initial_accuracy);
+
+  std::vector<ClusterClaims> claims;
+  claims.reserve(column.size());
+  for (size_t c = 0; c < column.size(); ++c) {
+    claims.push_back(CollectClaims(column[c], sources[c]));
+  }
+
+  const double n = static_cast<double>(options.num_false_values);
+  auto claim_score = [&](int s) {
+    const double a =
+        std::clamp(accuracy[s], options.clamp, 1.0 - options.clamp);
+    return std::log(n * a / (1.0 - a));
+  };
+  // Posterior of each value in a cluster under current accuracies.
+  auto posteriors = [&](const ClusterClaims& cluster) {
+    std::vector<double> scores(cluster.values.size(), 0.0);
+    for (size_t v = 0; v < cluster.values.size(); ++v) {
+      for (int s : cluster.supporters[v]) scores[v] += claim_score(s);
+    }
+    double max_score = *std::max_element(scores.begin(), scores.end());
+    double total = 0.0;
+    for (double& score : scores) {
+      score = std::exp(score - max_score);
+      total += score;
+    }
+    for (double& score : scores) score /= total;
+    return scores;
+  };
+
+  int iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    std::vector<double> sum(num_sources, 0.0);
+    std::vector<int> count(num_sources, 0);
+    for (const ClusterClaims& cluster : claims) {
+      if (cluster.values.empty()) continue;
+      std::vector<double> p = posteriors(cluster);
+      for (size_t v = 0; v < cluster.values.size(); ++v) {
+        for (int s : cluster.supporters[v]) {
+          sum[s] += p[v];
+          ++count[s];
+        }
+      }
+    }
+    double delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      const double updated =
+          count[s] == 0 ? accuracy[s] : sum[s] / count[s];
+      delta = std::max(delta, std::abs(updated - accuracy[s]));
+      accuracy[s] = updated;
+    }
+    if (delta < options.convergence) {
+      ++iterations;
+      break;
+    }
+  }
+
+  FusionResult result;
+  result.iterations = iterations;
+  result.source_trust = accuracy;
+  result.golden.reserve(column.size());
+  for (const ClusterClaims& cluster : claims) {
+    if (cluster.values.empty()) {
+      result.golden.emplace_back(std::nullopt);
+      continue;
+    }
+    std::vector<double> p = posteriors(cluster);
+    result.golden.emplace_back(cluster.values[ArgMax(p)]);
+  }
+  return result;
+}
+
+const char* FusionMethodName(FusionMethod method) {
+  switch (method) {
+    case FusionMethod::kMajority:
+      return "MC";
+    case FusionMethod::kWeightedVote:
+      return "Weighted";
+    case FusionMethod::kTruthFinder:
+      return "TruthFinder";
+    case FusionMethod::kAccu:
+      return "Accu";
+  }
+  return "?";
+}
+
+std::vector<GoldenRecord> FuseTable(const Table& table,
+                                    const SourceMatrix& record_sources,
+                                    size_t num_sources, FusionMethod method,
+                                    const std::vector<double>& weights) {
+  // Weighted voting needs one weight per source; catch the omission here
+  // rather than deep inside the per-column validation.
+  USTL_CHECK(method != FusionMethod::kWeightedVote ||
+             weights.size() == num_sources);
+  std::vector<GoldenRecord> records(table.num_clusters(),
+                                    GoldenRecord(table.num_columns()));
+  for (size_t col = 0; col < table.num_columns(); ++col) {
+    Column column = table.ExtractColumn(col);
+    std::vector<std::optional<std::string>> golden;
+    switch (method) {
+      case FusionMethod::kMajority:
+        golden = MajorityConsensusColumn(column);
+        break;
+      case FusionMethod::kWeightedVote:
+        golden = WeightedVote(column, record_sources, weights).golden;
+        break;
+      case FusionMethod::kTruthFinder:
+        golden =
+            TruthFinder(column, record_sources, num_sources).golden;
+        break;
+      case FusionMethod::kAccu:
+        golden = AccuFusion(column, record_sources, num_sources).golden;
+        break;
+    }
+    for (size_t c = 0; c < records.size(); ++c) {
+      records[c][col] = std::move(golden[c]);
+    }
+  }
+  return records;
+}
+
+}  // namespace ustl

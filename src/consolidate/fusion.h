@@ -1,0 +1,104 @@
+// Truth-discovery / data-fusion substrate beyond majority consensus.
+// Section 8.3 evaluates standardization with MC only, but Section 9 frames
+// the pipeline as a pre-processing step for the truth-discovery and
+// data-fusion literature it cites: TruthFinder-style iterative source
+// trustworthiness (Yin et al. [44]) and Bayesian source-accuracy models
+// (Dong et al. [15], Li et al. [31]). This module implements those two
+// families plus a fixed-weight vote, over source-attributed claims, so the
+// Table 8 experiment can be repeated for every fusion method.
+//
+// Claims are a clustered column (Column, as everywhere in the library)
+// plus a parallel matrix of source ids: sources[c][r] is the id of the
+// data source that contributed record r of cluster c (Figure 1's "Data
+// Source 1..N"). All methods are deterministic.
+#ifndef USTL_CONSOLIDATE_FUSION_H_
+#define USTL_CONSOLIDATE_FUSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consolidate/cluster.h"
+
+namespace ustl {
+
+/// Per-record source attribution, parallel to a Column.
+using SourceMatrix = std::vector<std::vector<int>>;
+
+/// The outcome of one fusion run over a column.
+struct FusionResult {
+  /// Per cluster: the fused value; nullopt when the cluster is empty or
+  /// the method could not decide (e.g. an exact vote tie).
+  std::vector<std::optional<std::string>> golden;
+  /// Learned (or given) per-source trust/accuracy in [0, 1].
+  std::vector<double> source_trust;
+  /// Iterations until convergence (1 for non-iterative methods).
+  int iterations = 0;
+};
+
+/// Fixed-weight vote: value score = sum of its supporters' weights; an
+/// exact tie between two distinct top values yields no golden value
+/// (majority-consensus semantics). With unit weights this is MC with
+/// source-deduplicated counting.
+FusionResult WeightedVote(const Column& column, const SourceMatrix& sources,
+                          const std::vector<double>& weights);
+
+struct TruthFinderOptions {
+  /// Initial trustworthiness of every source.
+  double initial_trust = 0.8;
+  /// Dampening factor gamma of the logistic that maps a value's
+  /// accumulated score to a confidence; prevents overconfidence from few
+  /// correlated supporters.
+  double dampening = 0.3;
+  int max_iterations = 50;
+  /// Stop when no source trust moves by more than this between rounds.
+  double convergence = 1e-4;
+  /// Trust is clamped to [clamp, 1 - clamp] so tau = -ln(1 - t) stays
+  /// finite.
+  double clamp = 0.01;
+};
+
+/// Iterative trustworthiness fusion: a value's confidence grows with the
+/// trust of the sources claiming it, and a source's trust is the mean
+/// confidence of its claims, iterated to a fixed point.
+FusionResult TruthFinder(const Column& column, const SourceMatrix& sources,
+                         size_t num_sources,
+                         const TruthFinderOptions& options = {});
+
+struct AccuOptions {
+  /// Initial accuracy of every source.
+  double initial_accuracy = 0.8;
+  /// The assumed number of wrong values a bad source may emit (the n of
+  /// the Bayesian model): a claim by a source of accuracy A multiplies a
+  /// value's odds by n * A / (1 - A).
+  int num_false_values = 10;
+  int max_iterations = 50;
+  double convergence = 1e-4;
+  /// Accuracy is clamped to [clamp, 1 - clamp].
+  double clamp = 0.01;
+};
+
+/// Bayesian source-accuracy fusion (the ACCU family without copying
+/// detection): value posteriors from source accuracies, source accuracy
+/// as the mean posterior of its claims, iterated to a fixed point.
+FusionResult AccuFusion(const Column& column, const SourceMatrix& sources,
+                        size_t num_sources, const AccuOptions& options = {});
+
+/// The fusion methods, for table-level dispatch and benches.
+enum class FusionMethod { kMajority, kWeightedVote, kTruthFinder, kAccu };
+
+/// Printable method name ("MC", "Weighted", "TruthFinder", "Accu").
+const char* FusionMethodName(FusionMethod method);
+
+/// Fuses every column of a table with one method and per-record sources
+/// (record_sources[c][r] attributes record r of cluster c, the same for
+/// every column). `weights` is only consulted by kWeightedVote; kMajority
+/// ignores sources entirely (it is MajorityConsensus).
+std::vector<GoldenRecord> FuseTable(const Table& table,
+                                    const SourceMatrix& record_sources,
+                                    size_t num_sources, FusionMethod method,
+                                    const std::vector<double>& weights = {});
+
+}  // namespace ustl
+
+#endif  // USTL_CONSOLIDATE_FUSION_H_

@@ -1,0 +1,60 @@
+#include "consolidate/oracle.h"
+
+#include <algorithm>
+
+namespace ustl {
+
+SimulatedOracle::SimulatedOracle(VariantJudge variant_judge,
+                                 DirectionJudge direction_judge,
+                                 Options options)
+    : variant_judge_(std::move(variant_judge)),
+      direction_judge_(std::move(direction_judge)),
+      options_(options),
+      rng_(options.seed) {
+  USTL_CHECK(variant_judge_ != nullptr);
+}
+
+Verdict SimulatedOracle::Verify(const std::vector<StringPair>& group_pairs) {
+  ++questions_asked_;
+  Verdict verdict;
+  if (group_pairs.empty()) return verdict;
+
+  // Inspect a deterministic sample of at most max_inspected pairs.
+  std::vector<size_t> indices(group_pairs.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  if (indices.size() > options_.max_inspected) {
+    rng_.Shuffle(&indices);
+    indices.resize(options_.max_inspected);
+  }
+
+  size_t genuine = 0;
+  int direction_votes = 0;
+  for (size_t i : indices) {
+    const StringPair& pair = group_pairs[i];
+    if (variant_judge_(pair)) ++genuine;
+    if (direction_judge_ != nullptr) {
+      int vote = direction_judge_(pair);
+      direction_votes += vote > 0 ? 1 : (vote < 0 ? -1 : 0);
+    }
+  }
+  bool approved =
+      static_cast<double>(genuine) >=
+      options_.approve_threshold * static_cast<double>(indices.size());
+  if (options_.error_rate > 0.0 && rng_.Bernoulli(options_.error_rate)) {
+    approved = !approved;  // injected human mistake
+  }
+  verdict.approved = approved;
+  verdict.direction = direction_votes < 0 ? ReplaceDirection::kRhsToLhs
+                                          : ReplaceDirection::kLhsToRhs;
+  return verdict;
+}
+
+Verdict ApproveAllOracle::Verify(const std::vector<StringPair>& group_pairs) {
+  (void)group_pairs;
+  Verdict verdict;
+  verdict.approved = true;
+  verdict.direction = ReplaceDirection::kLhsToRhs;
+  return verdict;
+}
+
+}  // namespace ustl

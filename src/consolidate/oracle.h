@@ -1,0 +1,77 @@
+// Human verification (Section 3 step 3). The human browses a group's value
+// pairs and approves or rejects the group as a whole, picking a replacement
+// direction on approval; they are "not required to exhaustively check all
+// pairs" and may make occasional mistakes — the SimulatedOracle models both
+// via a sampled approval threshold and an injected error rate.
+#ifndef USTL_CONSOLIDATE_ORACLE_H_
+#define USTL_CONSOLIDATE_ORACLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "grouping/group.h"
+
+namespace ustl {
+
+/// The direction the expert chooses for an approved group.
+enum class ReplaceDirection { kLhsToRhs, kRhsToLhs };
+
+struct Verdict {
+  bool approved = false;
+  ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
+};
+
+/// Interface the framework consults once per presented group.
+class VerificationOracle {
+ public:
+  virtual ~VerificationOracle() = default;
+  virtual Verdict Verify(const std::vector<StringPair>& group_pairs) = 0;
+};
+
+/// A simulated expert backed by dataset ground truth.
+class SimulatedOracle : public VerificationOracle {
+ public:
+  /// True iff the pair is a genuine variant pair (same logical value).
+  using VariantJudge = std::function<bool(const StringPair&)>;
+  /// Preference for the canonical side: > 0 replace lhs by rhs, < 0 the
+  /// other way, 0 no preference. May be null (defaults to lhs -> rhs).
+  using DirectionJudge = std::function<int(const StringPair&)>;
+
+  struct Options {
+    /// Approve when at least this fraction of inspected pairs are genuine.
+    double approve_threshold = 0.8;
+    /// The human inspects at most this many pairs per group (sampled
+    /// deterministically from the seed), mirroring non-exhaustive checking.
+    size_t max_inspected = 20;
+    /// Probability of flipping a verdict (human mistakes; Section 3 claims
+    /// robustness to small numbers of errors, exercised in tests).
+    double error_rate = 0.0;
+    uint64_t seed = 42;
+  };
+
+  SimulatedOracle(VariantJudge variant_judge, DirectionJudge direction_judge,
+                  Options options);
+
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override;
+
+  size_t questions_asked() const { return questions_asked_; }
+
+ private:
+  VariantJudge variant_judge_;
+  DirectionJudge direction_judge_;
+  Options options_;
+  Rng rng_;
+  size_t questions_asked_ = 0;
+};
+
+/// An oracle that approves everything lhs -> rhs; useful as a baseline
+/// ("apply transformations blindly") and in tests.
+class ApproveAllOracle : public VerificationOracle {
+ public:
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_CONSOLIDATE_ORACLE_H_

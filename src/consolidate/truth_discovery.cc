@@ -1,0 +1,48 @@
+#include "consolidate/truth_discovery.h"
+
+#include <map>
+
+namespace ustl {
+
+std::optional<std::string> MajorityValue(
+    const std::vector<std::string>& values) {
+  if (values.empty()) return std::nullopt;
+  std::map<std::string, size_t> counts;
+  for (const std::string& v : values) ++counts[v];
+  size_t best = 0;
+  bool tie = false;
+  const std::string* winner = nullptr;
+  for (const auto& [value, count] : counts) {
+    if (count > best) {
+      best = count;
+      winner = &value;
+      tie = false;
+    } else if (count == best) {
+      tie = true;
+    }
+  }
+  if (tie || winner == nullptr) return std::nullopt;
+  return *winner;
+}
+
+std::vector<std::optional<std::string>> MajorityConsensusColumn(
+    const Column& column) {
+  std::vector<std::optional<std::string>> out;
+  out.reserve(column.size());
+  for (const auto& cluster : column) out.push_back(MajorityValue(cluster));
+  return out;
+}
+
+std::vector<GoldenRecord> MajorityConsensus(const Table& table) {
+  std::vector<GoldenRecord> out(table.num_clusters(),
+                                GoldenRecord(table.num_columns()));
+  for (size_t col = 0; col < table.num_columns(); ++col) {
+    Column column = table.ExtractColumn(col);
+    std::vector<std::optional<std::string>> golden =
+        MajorityConsensusColumn(column);
+    for (size_t c = 0; c < golden.size(); ++c) out[c][col] = golden[c];
+  }
+  return out;
+}
+
+}  // namespace ustl

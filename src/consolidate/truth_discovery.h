@@ -1,0 +1,29 @@
+// Truth discovery substrate (Section 8.3). The paper evaluates with
+// majority consensus (MC): per cluster and column, pick the most frequent
+// value; a tie produces no golden value. A frequency-weighted variant
+// breaking ties by source order is provided as an extension point.
+#ifndef USTL_CONSOLIDATE_TRUTH_DISCOVERY_H_
+#define USTL_CONSOLIDATE_TRUTH_DISCOVERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consolidate/cluster.h"
+
+namespace ustl {
+
+/// Majority value of one cluster's values; nullopt on a frequency tie
+/// between two different values (MC "could not produce a golden value").
+std::optional<std::string> MajorityValue(const std::vector<std::string>& values);
+
+/// MC golden records for every cluster of the table (Algorithm 1 line 10).
+std::vector<GoldenRecord> MajorityConsensus(const Table& table);
+
+/// MC golden values for one column.
+std::vector<std::optional<std::string>> MajorityConsensusColumn(
+    const Column& column);
+
+}  // namespace ustl
+
+#endif  // USTL_CONSOLIDATE_TRUTH_DISCOVERY_H_

@@ -1,0 +1,148 @@
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/generators.h"
+#include "datagen/judges.h"
+#include "datagen/vocab.h"
+
+namespace ustl {
+namespace {
+
+// A structured address value; formatting choices render its variants.
+struct AddressValue {
+  std::string ordinal;   // "9th"
+  std::string direction; // "East" or ""
+  std::string name;      // "Oak" or ""
+  std::string suffix;    // "Street"
+  std::string zip;       // "02141"
+  std::string state;     // "Wisconsin"
+};
+
+AddressValue RandomAddress(Rng* rng) {
+  AddressValue v;
+  v.ordinal = OrdinalOf(static_cast<int>(rng->Uniform(1, 99)));
+  if (rng->Bernoulli(0.3)) {
+    v.direction = Directions().entries()[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(Directions().entries().size()) - 1))].first;
+  }
+  if (rng->Bernoulli(0.4)) v.name = rng->Choice(StreetNames());
+  v.suffix = StreetSuffixes().entries()[static_cast<size_t>(rng->Uniform(
+      0, static_cast<int64_t>(StreetSuffixes().entries().size()) - 1))].first;
+  char zip[8];
+  std::snprintf(zip, sizeof(zip), "%05d",
+                static_cast<int>(rng->Uniform(501, 99950)));
+  v.zip = zip;
+  v.state = States().entries()[static_cast<size_t>(rng->Uniform(
+      0, static_cast<int64_t>(States().entries().size()) - 1))].first;
+  return v;
+}
+
+std::string Render(const AddressValue& v, const AddressGenOptions& opt,
+                   Rng* rng, bool canonical) {
+  std::string ordinal = v.ordinal;
+  std::string direction = v.direction;
+  std::string suffix = v.suffix;
+  std::string state = v.state;
+  if (!canonical) {
+    if (rng->Bernoulli(opt.p_ordinal_strip)) {
+      ordinal = *StripOrdinal(ordinal);
+    }
+    if (!direction.empty() && rng->Bernoulli(opt.p_direction_abbr)) {
+      direction = *Directions().Abbreviate(direction);
+    }
+    if (rng->Bernoulli(opt.p_suffix_abbr)) {
+      suffix = *StreetSuffixes().Abbreviate(suffix);
+    }
+    if (rng->Bernoulli(opt.p_state_abbr)) {
+      state = *States().Abbreviate(state);
+    }
+  }
+  std::string out = ordinal;
+  if (!direction.empty()) out += " " + direction;
+  if (!v.name.empty()) out += " " + v.name;
+  out += " " + suffix + ", " + v.zip + " " + state;
+  return out;
+}
+
+// Canonicalizer for the segment judge: lowercase, strip commas, expand
+// abbreviations, strip ordinal suffixes (dots are kept for InitialPair,
+// which never triggers here).
+std::string AddressCanon(std::string_view token) {
+  std::string_view trimmed = TrimPunct(token, ",");
+  if (trimmed.empty()) return "";
+  std::string word(trimmed);
+  if (auto full = StreetSuffixes().Expand(word)) word = *full;
+  if (auto full = States().Expand(word)) word = *full;
+  if (auto full = Directions().Expand(word)) word = *full;
+  if (auto stripped = StripOrdinal(word)) word = *stripped;
+  return ToLower(word);
+}
+
+}  // namespace
+
+GeneratedDataset GenerateAddressDataset(const AddressGenOptions& opt) {
+  Rng rng(opt.seed);
+  GeneratedDataset data;
+  data.name = "Address";
+
+  const size_t num_clusters = static_cast<size_t>(
+      static_cast<double>(opt.base_clusters) * opt.scale);
+  int next_id = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const int true_id = next_id++;
+    const AddressValue true_value = RandomAddress(&rng);
+    data.cluster_true_id.push_back(true_id);
+    data.column.emplace_back();
+    data.cell_truth.emplace_back();
+
+    // Per-cluster pool of conflicting addresses (other logical values the
+    // sources disagree on). Conflicts are reused *verbatim*: sources that
+    // copy a wrong value copy its exact string, which is what lets
+    // repeated conflicts outvote a format-fragmented truth before
+    // standardization (the Table 8 regime).
+    std::vector<std::pair<int, std::string>> conflicts;
+
+    const int64_t size = rng.SkewedSize(
+        opt.mean_cluster_size, static_cast<int64_t>(opt.max_cluster_size));
+    for (int64_t r = 0; r < size; ++r) {
+      int id;
+      std::string cell;
+      if (r > 0 && rng.Bernoulli(opt.p_conflict)) {
+        if (!conflicts.empty() && rng.Bernoulli(opt.p_reuse_conflict)) {
+          const auto& reused =
+              conflicts[static_cast<size_t>(rng.Uniform(
+                  0, static_cast<int64_t>(conflicts.size()) - 1))];
+          id = reused.first;
+          cell = reused.second;
+        } else {
+          id = next_id++;
+          cell = Render(RandomAddress(&rng), opt, &rng, /*canonical=*/false);
+          conflicts.emplace_back(id, cell);
+        }
+      } else {
+        id = true_id;
+        cell = Render(true_value, opt, &rng, /*canonical=*/r == 0);
+      }
+      data.string_ids[cell].insert(id);
+      data.column.back().push_back(std::move(cell));
+      data.cell_truth.back().push_back(id);
+    }
+  }
+
+  data.variant_judge = [](const StringPair& pair) {
+    return SegmentsEquivalent(pair.lhs, pair.rhs, AddressCanon,
+                              /*allow_reorder=*/false);
+  };
+  data.direction_judge = [](const StringPair& pair) {
+    // Prefer the expanded (canonical) form; longer side wins.
+    if (pair.rhs.size() != pair.lhs.size()) {
+      return pair.rhs.size() > pair.lhs.size() ? 1 : -1;
+    }
+    return 0;
+  };
+  return data;
+}
+
+}  // namespace ustl

@@ -1,0 +1,152 @@
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/generators.h"
+#include "datagen/judges.h"
+#include "datagen/vocab.h"
+
+namespace ustl {
+namespace {
+
+// One author of a list; lists are rendered lowercase as in Table 4.
+struct Author {
+  std::string first;
+  std::string last;
+};
+
+std::vector<Author> RandomAuthors(Rng* rng) {
+  // 1-3 authors, weighted toward fewer.
+  size_t count = rng->Weighted({0.55, 0.3, 0.15}) + 1;
+  std::vector<Author> authors;
+  for (size_t i = 0; i < count; ++i) {
+    authors.push_back(Author{rng->Choice(FirstNames()),
+                             rng->Choice(LastNames())});
+  }
+  return authors;
+}
+
+std::string Initial(const std::string& first) {
+  return std::string(1, first[0]) + ".";
+}
+
+// Renders one record's author list under sampled format choices. Format
+// choices apply list-wide (real sources are internally consistent); the
+// transformation families are those of Table 4 groups A-E.
+std::string Render(const std::vector<Author>& authors,
+                   const AuthorListGenOptions& opt, Rng* rng,
+                   bool canonical) {
+  bool transpose = !canonical && rng->Bernoulli(opt.p_transpose);
+  bool initials = !canonical && !transpose && rng->Bernoulli(opt.p_initials);
+  bool nickname = !canonical && rng->Bernoulli(opt.p_nickname);
+  bool annotation = !canonical && rng->Bernoulli(opt.p_annotation);
+  bool glue = transpose && rng->Bernoulli(opt.p_glue / opt.p_transpose);
+
+  std::vector<std::string> rendered;
+  for (const Author& author : authors) {
+    std::string first = author.first;
+    if (nickname) {
+      if (auto nick = Nicknames().Abbreviate(first)) first = *nick;
+    }
+    if (initials) first = Initial(first);
+    std::string name =
+        transpose ? author.last + ", " + first : first + " " + author.last;
+    if (annotation) {
+      const char* notes[] = {" (edt)", " (author)", " (editor)"};
+      name += notes[rng->Uniform(0, 2)];
+    }
+    rendered.push_back(std::move(name));
+  }
+  // Transposed lists separate authors by whitespace ("fox, dan box, jon"),
+  // canonical lists by commas ("dan fox, jon box") — Table 4 group A. The
+  // glued variant (group D) drops the separator entirely.
+  const char* sep = transpose ? (glue ? "" : " ") : ", ";
+  return Join(rendered, sep);
+}
+
+// Canonicalizer for the segment judge: lowercase already; strip commas and
+// parentheses (keeping dots so initials stay recognizable), drop
+// annotation words, expand nicknames.
+std::string AuthorCanon(std::string_view token) {
+  std::string_view trimmed = TrimPunct(token, ",()");
+  if (trimmed.empty()) return "";
+  std::string word = ToLower(trimmed);
+  if (word == "edt" || word == "author" || word == "editor" ||
+      word == "eds") {
+    return "";
+  }
+  if (auto full = Nicknames().Expand(word)) word = *full;
+  return word;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateAuthorListDataset(const AuthorListGenOptions& opt) {
+  Rng rng(opt.seed);
+  GeneratedDataset data;
+  data.name = "AuthorList";
+
+  const size_t num_clusters = static_cast<size_t>(
+      static_cast<double>(opt.base_clusters) * opt.scale);
+  int next_id = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const int true_id = next_id++;
+    const std::vector<Author> true_value = RandomAuthors(&rng);
+    data.cluster_true_id.push_back(true_id);
+    data.column.emplace_back();
+    data.cell_truth.emplace_back();
+
+    // Conflicts repeat verbatim; see the Address generator for why.
+    std::vector<std::pair<int, std::string>> conflicts;
+    const int64_t size = rng.SkewedSize(
+        opt.mean_cluster_size, static_cast<int64_t>(opt.max_cluster_size));
+    for (int64_t r = 0; r < size; ++r) {
+      int id;
+      std::string cell;
+      if (r > 0 && rng.Bernoulli(opt.p_conflict)) {
+        if (!conflicts.empty() && rng.Bernoulli(opt.p_reuse_conflict)) {
+          const auto& reused =
+              conflicts[static_cast<size_t>(rng.Uniform(
+                  0, static_cast<int64_t>(conflicts.size()) - 1))];
+          id = reused.first;
+          cell = reused.second;
+        } else {
+          id = next_id++;
+          cell = Render(RandomAuthors(&rng), opt, &rng, /*canonical=*/false);
+          conflicts.emplace_back(id, cell);
+        }
+      } else {
+        id = true_id;
+        cell = Render(true_value, opt, &rng, /*canonical=*/r == 0);
+      }
+      data.string_ids[cell].insert(id);
+      data.column.back().push_back(std::move(cell));
+      data.cell_truth.back().push_back(id);
+    }
+  }
+
+  data.variant_judge = [](const StringPair& pair) {
+    // Name transposition reorders tokens, so multiset comparison.
+    return SegmentsEquivalent(pair.lhs, pair.rhs, AuthorCanon,
+                              /*allow_reorder=*/true);
+  };
+  data.direction_judge = [](const StringPair& pair) {
+    // Prefer the canonical "first last, first last" rendering: fewer
+    // punctuation characters wins, then longer (expanded) form.
+    auto punct = [](const std::string& s) {
+      size_t count = 0;
+      for (char ch : s) count += (ch == ',' || ch == '(' || ch == ')');
+      return count;
+    };
+    size_t pl = punct(pair.lhs), pr = punct(pair.rhs);
+    if (pl != pr) return pr < pl ? 1 : -1;
+    if (pair.rhs.size() != pair.lhs.size()) {
+      return pair.rhs.size() > pair.lhs.size() ? 1 : -1;
+    }
+    return 0;
+  };
+  return data;
+}
+
+}  // namespace ustl

@@ -1,0 +1,70 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+
+namespace ustl {
+
+bool GeneratedDataset::IsTrueVariantPair(const StringPair& pair) const {
+  auto lhs_it = string_ids.find(pair.lhs);
+  auto rhs_it = string_ids.find(pair.rhs);
+  if (lhs_it != string_ids.end() && rhs_it != string_ids.end()) {
+    for (int id : lhs_it->second) {
+      if (rhs_it->second.count(id) > 0) return true;
+    }
+  }
+  return variant_judge != nullptr && variant_judge(pair);
+}
+
+size_t GeneratedDataset::num_records() const {
+  size_t count = 0;
+  for (const auto& cluster : column) count += cluster.size();
+  return count;
+}
+
+DatasetStats ComputeStats(const GeneratedDataset& dataset) {
+  DatasetStats stats;
+  stats.num_clusters = dataset.num_clusters();
+  stats.num_records = dataset.num_records();
+  stats.min_cluster_size = stats.num_clusters == 0 ? 0 : SIZE_MAX;
+  for (const auto& cluster : dataset.column) {
+    stats.min_cluster_size = std::min(stats.min_cluster_size, cluster.size());
+    stats.max_cluster_size = std::max(stats.max_cluster_size, cluster.size());
+  }
+  if (stats.num_clusters > 0) {
+    stats.avg_cluster_size = static_cast<double>(stats.num_records) /
+                             static_cast<double>(stats.num_clusters);
+  }
+
+  // Distinct non-identical (unordered) value pairs within clusters, split
+  // into variant vs conflict by cell ground truth (as the paper's Table 6).
+  std::set<std::pair<std::string, std::string>> variant, conflict;
+  for (size_t c = 0; c < dataset.column.size(); ++c) {
+    const auto& rows = dataset.column[c];
+    for (size_t a = 0; a < rows.size(); ++a) {
+      for (size_t b = a + 1; b < rows.size(); ++b) {
+        if (rows[a] == rows[b]) continue;
+        auto key = rows[a] < rows[b] ? std::make_pair(rows[a], rows[b])
+                                     : std::make_pair(rows[b], rows[a]);
+        if (dataset.IsVariantCellPair(c, a, b)) {
+          variant.insert(key);
+        } else {
+          conflict.insert(key);
+        }
+      }
+    }
+  }
+  // A pair observed as both (rare id collision) counts as variant.
+  for (const auto& key : variant) conflict.erase(key);
+  stats.distinct_value_pairs = variant.size() + conflict.size();
+  if (stats.distinct_value_pairs > 0) {
+    stats.variant_pair_fraction =
+        static_cast<double>(variant.size()) /
+        static_cast<double>(stats.distinct_value_pairs);
+    stats.conflict_pair_fraction =
+        static_cast<double>(conflict.size()) /
+        static_cast<double>(stats.distinct_value_pairs);
+  }
+  return stats;
+}
+
+}  // namespace ustl

@@ -1,0 +1,67 @@
+// The generated-dataset container: a clustered column plus exact ground
+// truth. Every cell carries the id of the logical value it represents;
+// two cells of a cluster form a variant pair iff their ids match and their
+// strings differ (the paper's human labelling of 1000 sampled pairs,
+// Section 8). Generators also install string-level judges so the
+// simulated oracle can assess token-level replacement pairs.
+#ifndef USTL_DATAGEN_DATASET_H_
+#define USTL_DATAGEN_DATASET_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grouping/group.h"
+#include "replace/replacement.h"
+
+namespace ustl {
+
+class GeneratedDataset {
+ public:
+  std::string name;
+  Column column;
+  /// Parallel to column: the logical value id of each cell.
+  std::vector<std::vector<int>> cell_truth;
+  /// Per cluster: the id of the entity's true value (for Table 8).
+  std::vector<int> cluster_true_id;
+  /// Every generated string mapped to the ids it was generated for.
+  std::unordered_map<std::string, std::set<int>> string_ids;
+
+  /// Pair-level ground truth installed by the generator: is lhs -> rhs a
+  /// genuine variant transformation (full values or aligned segments)?
+  std::function<bool(const StringPair&)> variant_judge;
+  /// Preferred replacement direction: > 0 replace lhs by rhs.
+  std::function<int(const StringPair&)> direction_judge;
+
+  /// Cell-level ground truth: same logical value, different strings.
+  bool IsVariantCellPair(size_t cluster, size_t row_a, size_t row_b) const {
+    return cell_truth[cluster][row_a] == cell_truth[cluster][row_b];
+  }
+
+  /// True iff the pair of strings represents the same logical value,
+  /// either because both strings were generated for a common id or per the
+  /// generator's segment judge.
+  bool IsTrueVariantPair(const StringPair& pair) const;
+
+  size_t num_records() const;
+  size_t num_clusters() const { return column.size(); }
+};
+
+/// Table 6 analog: cluster-size and pair statistics of a dataset.
+struct DatasetStats {
+  size_t num_records = 0;
+  size_t num_clusters = 0;
+  double avg_cluster_size = 0.0;
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+  size_t distinct_value_pairs = 0;  // distinct non-identical in-cluster pairs
+  double variant_pair_fraction = 0.0;
+  double conflict_pair_fraction = 0.0;
+};
+DatasetStats ComputeStats(const GeneratedDataset& dataset);
+
+}  // namespace ustl
+
+#endif  // USTL_DATAGEN_DATASET_H_

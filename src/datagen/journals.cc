@@ -1,0 +1,178 @@
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/generators.h"
+#include "datagen/judges.h"
+#include "datagen/vocab.h"
+
+namespace ustl {
+namespace {
+
+// A structured journal title: words plus knowledge of which are
+// abbreviatable (so variants abbreviate consistently).
+struct JournalValue {
+  std::vector<std::string> words;  // canonical words, e.g. {"Journal","of","Biology"}
+  bool leading_the = false;
+  bool has_and = false;            // "X and Y" composite field
+};
+
+JournalValue RandomJournal(Rng* rng) {
+  JournalValue v;
+  const std::string field = rng->Choice(Fields());
+  switch (rng->Weighted({0.2, 0.15, 0.15, 0.1, 0.1, 0.1, 0.1, 0.1})) {
+    case 0:
+      v.words = {"Journal", "of", field};
+      break;
+    case 1:
+      v.words = {"International", "Journal", "of", field};
+      break;
+    case 2:
+      v.words = {rng->Bernoulli(0.5) ? "American" : "European", "Journal",
+                 "of", field};
+      break;
+    case 3:
+      v.words = {"Annals", "of", field};
+      break;
+    case 4:
+      v.words = {field, rng->Choice(FieldQualifiers())};
+      break;
+    case 5:
+      v.words = {"Review", "of", field};
+      break;
+    case 6: {
+      std::string other = rng->Choice(Fields());
+      while (other == field) other = rng->Choice(Fields());
+      v.words = {"Journal", "of", field, "and", other};
+      v.has_and = true;
+      break;
+    }
+    default:
+      v.words = {"Transactions", "on", field};
+      break;
+  }
+  v.leading_the = rng->Bernoulli(0.25);
+  return v;
+}
+
+std::string Render(const JournalValue& v, const JournalTitleGenOptions& opt,
+                   Rng* rng, bool canonical) {
+  bool abbreviate = !canonical && rng->Bernoulli(opt.p_abbreviate);
+  bool lowercase = !canonical && rng->Bernoulli(opt.p_lowercase);
+  bool amp = !canonical && v.has_and && rng->Bernoulli(opt.p_amp);
+  bool drop_the = !canonical && rng->Bernoulli(opt.p_drop_the);
+
+  std::vector<std::string> words;
+  if (v.leading_the && !drop_the) words.push_back("The");
+  for (const std::string& word : v.words) {
+    std::string out = word;
+    if (amp && out == "and") out = "&";
+    if (abbreviate) {
+      if (auto abbr = JournalWords().Abbreviate(out)) out = *abbr;
+    }
+    words.push_back(std::move(out));
+  }
+  std::string title = Join(words, " ");
+  if (lowercase) title = ToLower(title);
+  return title;
+}
+
+// Canonicalizer for the segment judge: expand abbreviations (before
+// lowercasing: the dictionary is cased), map & to and, drop articles.
+std::string JournalCanon(std::string_view token) {
+  std::string_view trimmed = TrimPunct(token, ",");
+  if (trimmed.empty()) return "";
+  std::string word(trimmed);
+  if (word == "&") word = "and";
+  if (auto full = JournalWords().Expand(word)) word = *full;
+  // Abbreviations may appear lowercased ("j." in a lowercased variant).
+  std::string upper_first = word;
+  if (!upper_first.empty()) {
+    upper_first[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(upper_first[0])));
+    if (auto full = JournalWords().Expand(upper_first)) word = *full;
+  }
+  word = ToLower(word);
+  if (word == "the" || word == "of" || word == "on") return "";
+  return word;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateJournalTitleDataset(
+    const JournalTitleGenOptions& opt) {
+  Rng rng(opt.seed);
+  GeneratedDataset data;
+  data.name = "JournalTitle";
+
+  const size_t num_clusters = static_cast<size_t>(
+      static_cast<double>(opt.base_clusters) * opt.scale);
+  int next_id = 0;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const int true_id = next_id++;
+    const JournalValue true_value = RandomJournal(&rng);
+    data.cluster_true_id.push_back(true_id);
+    data.column.emplace_back();
+    data.cell_truth.emplace_back();
+
+    // Conflicts repeat verbatim; see the Address generator for why.
+    std::vector<std::pair<int, std::string>> conflicts;
+    const int64_t size = rng.SkewedSize(
+        opt.mean_cluster_size, static_cast<int64_t>(opt.max_cluster_size));
+    for (int64_t r = 0; r < size; ++r) {
+      int id;
+      std::string cell;
+      if (r > 0 && rng.Bernoulli(opt.p_conflict)) {
+        if (!conflicts.empty() && rng.Bernoulli(opt.p_reuse_conflict)) {
+          const auto& reused =
+              conflicts[static_cast<size_t>(rng.Uniform(
+                  0, static_cast<int64_t>(conflicts.size()) - 1))];
+          id = reused.first;
+          cell = reused.second;
+        } else {
+          id = next_id++;
+          cell = Render(RandomJournal(&rng), opt, &rng, /*canonical=*/false);
+          conflicts.emplace_back(id, cell);
+        }
+      } else {
+        id = true_id;
+        cell = Render(true_value, opt, &rng, /*canonical=*/r == 0);
+      }
+      data.string_ids[cell].insert(id);
+      data.column.back().push_back(std::move(cell));
+      data.cell_truth.back().push_back(id);
+    }
+  }
+
+  data.variant_judge = [](const StringPair& pair) {
+    return SegmentsEquivalent(pair.lhs, pair.rhs, JournalCanon,
+                              /*allow_reorder=*/false);
+  };
+  data.direction_judge = [](const StringPair& pair) {
+    if (pair.rhs.size() != pair.lhs.size()) {
+      return pair.rhs.size() > pair.lhs.size() ? 1 : -1;
+    }
+    return 0;
+  };
+  return data;
+}
+
+AllDatasets GenerateAllDatasets(double scale, uint64_t seed) {
+  AllDatasets out;
+  AuthorListGenOptions authors;
+  authors.scale = scale;
+  authors.seed = seed + 2;
+  out.author_list = GenerateAuthorListDataset(authors);
+  AddressGenOptions address;
+  address.scale = scale;
+  address.seed = seed + 1;
+  out.address = GenerateAddressDataset(address);
+  JournalTitleGenOptions journals;
+  journals.scale = scale;
+  journals.seed = seed + 3;
+  out.journal_title = GenerateJournalTitleDataset(journals);
+  return out;
+}
+
+}  // namespace ustl

@@ -1,0 +1,49 @@
+#include "datagen/judges.h"
+
+#include <algorithm>
+
+#include "datagen/vocab.h"
+#include "text/terms.h"
+
+namespace ustl {
+
+std::string_view TrimPunct(std::string_view token, std::string_view strip) {
+  size_t begin = 0, end = token.size();
+  while (begin < end && strip.find(token[begin]) != std::string_view::npos) {
+    ++begin;
+  }
+  while (end > begin &&
+         strip.find(token[end - 1]) != std::string_view::npos) {
+    --end;
+  }
+  return token.substr(begin, end - begin);
+}
+
+std::vector<std::string> CanonTokens(std::string_view segment,
+                                     const TokenCanon& canon) {
+  std::vector<std::string> out;
+  for (const std::string& token : WhitespaceTokens(segment)) {
+    std::string canonical = canon(token);
+    if (!canonical.empty()) out.push_back(std::move(canonical));
+  }
+  return out;
+}
+
+bool SegmentsEquivalent(std::string_view lhs, std::string_view rhs,
+                        const TokenCanon& canon, bool allow_reorder) {
+  std::vector<std::string> a = CanonTokens(lhs, canon);
+  std::vector<std::string> b = CanonTokens(rhs, canon);
+  if (a.size() != b.size() || a.empty()) return false;
+  if (allow_reorder) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (InitialPair(a[i], b[i])) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ustl

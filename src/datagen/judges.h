@@ -1,0 +1,37 @@
+// Segment-equivalence machinery for ground-truth judges. A dataset family
+// supplies a token canonicalizer (lowercase, strip punctuation, expand its
+// abbreviation dictionaries, ...); two segments are equivalent when their
+// canonical token multisets match, with a special case for dotted initials
+// ("m." vs "mary"). Used by the simulated oracle on token-level candidate
+// replacements, whose strings are fragments rather than whole generated
+// values.
+#ifndef USTL_DATAGEN_JUDGES_H_
+#define USTL_DATAGEN_JUDGES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ustl {
+
+/// Canonicalizes one token; returning "" drops the token.
+using TokenCanon = std::function<std::string(std::string_view)>;
+
+/// Canonical token list of a segment under `canon` (whitespace-tokenized,
+/// empty canonical forms dropped).
+std::vector<std::string> CanonTokens(std::string_view segment,
+                                     const TokenCanon& canon);
+
+/// True iff the canonical token multisets match; `allow_reorder` permits
+/// permutations (name transposition). Tokens also match pairwise when one
+/// is the dotted initial of the other.
+bool SegmentsEquivalent(std::string_view lhs, std::string_view rhs,
+                        const TokenCanon& canon, bool allow_reorder);
+
+/// Strips leading/trailing characters in `strip` from a token.
+std::string_view TrimPunct(std::string_view token, std::string_view strip);
+
+}  // namespace ustl
+
+#endif  // USTL_DATAGEN_JUDGES_H_

@@ -1,0 +1,62 @@
+#include "datagen/sources.h"
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ustl {
+
+std::vector<double> SourceAssignment::EmpiricalReliability(
+    const GeneratedDataset& data) const {
+  std::vector<double> correct(reliability.size(), 0.0);
+  std::vector<double> total(reliability.size(), 0.0);
+  for (size_t c = 0; c < source_of.size(); ++c) {
+    for (size_t r = 0; r < source_of[c].size(); ++r) {
+      const int s = source_of[c][r];
+      total[s] += 1.0;
+      if (data.cell_truth[c][r] == data.cluster_true_id[c]) {
+        correct[s] += 1.0;
+      }
+    }
+  }
+  std::vector<double> out(reliability.size(), 0.0);
+  for (size_t s = 0; s < out.size(); ++s) {
+    out[s] = total[s] == 0.0 ? 0.0 : correct[s] / total[s];
+  }
+  return out;
+}
+
+SourceAssignment AssignSources(const GeneratedDataset& data,
+                               const SourceModelOptions& options) {
+  USTL_CHECK(options.num_sources >= 1);
+  USTL_CHECK(options.min_reliability <= options.max_reliability);
+  SourceAssignment assignment;
+  assignment.reliability.resize(options.num_sources);
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    const double frac =
+        options.num_sources == 1
+            ? 0.5
+            : static_cast<double>(s) / (options.num_sources - 1);
+    assignment.reliability[s] =
+        options.min_reliability +
+        frac * (options.max_reliability - options.min_reliability);
+  }
+
+  Rng rng(options.seed);
+  assignment.source_of.resize(data.column.size());
+  std::vector<double> weights(options.num_sources);
+  for (size_t c = 0; c < data.column.size(); ++c) {
+    assignment.source_of[c].resize(data.column[c].size());
+    for (size_t r = 0; r < data.column[c].size(); ++r) {
+      const bool correct =
+          data.cell_truth[c][r] == data.cluster_true_id[c];
+      for (size_t s = 0; s < options.num_sources; ++s) {
+        weights[s] = correct ? assignment.reliability[s]
+                             : 1.0 - assignment.reliability[s];
+      }
+      assignment.source_of[c][r] = static_cast<int>(rng.Weighted(weights));
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ustl

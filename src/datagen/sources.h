@@ -1,0 +1,52 @@
+// Source attribution for generated datasets. The paper's Figure 1 shows
+// records arriving from "Data Source 1..N"; truth-discovery methods
+// (consolidate/fusion.h) need that attribution to learn per-source
+// reliability. The real datasets carry no usable source column, so we
+// simulate one: sources get ground-truth reliabilities, and each record is
+// assigned a source with probability proportional to how well the source's
+// reliability explains the record's correctness — a correct record tends
+// to come from a reliable source, a conflicting record from an unreliable
+// one. The induced conditional P(record correct | source s) converges to
+// the configured reliability as clusters grow, which is exactly the
+// generative model ACCU/TruthFinder assume.
+#ifndef USTL_DATAGEN_SOURCES_H_
+#define USTL_DATAGEN_SOURCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/dataset.h"
+
+namespace ustl {
+
+struct SourceModelOptions {
+  size_t num_sources = 8;
+  /// Reliabilities are evenly spread over [min, max], so the learning
+  /// methods have a spectrum to recover.
+  double min_reliability = 0.55;
+  double max_reliability = 0.95;
+  uint64_t seed = 11;
+};
+
+struct SourceAssignment {
+  /// source_of[c][r]: source id of record r in cluster c (parallel to
+  /// GeneratedDataset::column).
+  std::vector<std::vector<int>> source_of;
+  /// Ground-truth reliability per source id.
+  std::vector<double> reliability;
+
+  size_t num_sources() const { return reliability.size(); }
+
+  /// Empirical P(record correct | source): how reliable each source
+  /// actually is in this assignment (for tests and reports).
+  std::vector<double> EmpiricalReliability(
+      const GeneratedDataset& data) const;
+};
+
+/// Assigns every record of `data` to a simulated source.
+SourceAssignment AssignSources(const GeneratedDataset& data,
+                               const SourceModelOptions& options = {});
+
+}  // namespace ustl
+
+#endif  // USTL_DATAGEN_SOURCES_H_

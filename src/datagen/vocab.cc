@@ -1,0 +1,209 @@
+#include "datagen/vocab.h"
+
+#include <cctype>
+
+#include "common/status.h"
+
+namespace ustl {
+
+Dictionary::Dictionary(
+    std::vector<std::pair<std::string, std::string>> entries)
+    : entries_(std::move(entries)) {
+  for (const auto& [full, abbr] : entries_) {
+    full_to_abbr_.emplace(full, abbr);
+    abbr_to_full_.emplace(abbr, full);
+  }
+}
+
+std::optional<std::string> Dictionary::Abbreviate(
+    std::string_view full) const {
+  auto it = full_to_abbr_.find(std::string(full));
+  if (it == full_to_abbr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Dictionary::Expand(std::string_view abbr) const {
+  auto it = abbr_to_full_.find(std::string(abbr));
+  if (it == abbr_to_full_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Dictionary::ArePaired(std::string_view a, std::string_view b) const {
+  auto abbr = Abbreviate(a);
+  if (abbr.has_value() && *abbr == b) return true;
+  auto full = Expand(a);
+  return full.has_value() && *full == b;
+}
+
+const Dictionary& StreetSuffixes() {
+  static const Dictionary& dict = *new Dictionary({
+      {"Street", "St"},     {"Avenue", "Ave"},  {"Boulevard", "Blvd"},
+      {"Road", "Rd"},       {"Drive", "Dr"},    {"Lane", "Ln"},
+      {"Place", "Pl"},      {"Court", "Ct"},    {"Square", "Sq"},
+      {"Terrace", "Ter"},   {"Parkway", "Pkwy"}, {"Highway", "Hwy"},
+  });
+  return dict;
+}
+
+const Dictionary& States() {
+  static const Dictionary& dict = *new Dictionary({
+      {"Wisconsin", "WI"},  {"California", "CA"}, {"Texas", "TX"},
+      {"Ohio", "OH"},       {"Florida", "FL"},    {"Maine", "ME"},
+      {"Georgia", "GA"},    {"Oregon", "OR"},     {"Arizona", "AZ"},
+      {"Colorado", "CO"},   {"Alabama", "AL"},    {"Montana", "MT"},
+      {"Nevada", "NV"},     {"Kansas", "KS"},     {"Iowa", "IA"},
+      {"Utah", "UT"},       {"Idaho", "ID"},      {"Virginia", "VA"},
+      {"Washington", "WA"}, {"Delaware", "DE"},
+  });
+  return dict;
+}
+
+const Dictionary& Directions() {
+  static const Dictionary& dict = *new Dictionary({
+      {"East", "E"},
+      {"West", "W"},
+      {"North", "N"},
+      {"South", "S"},
+  });
+  return dict;
+}
+
+const Dictionary& Nicknames() {
+  static const Dictionary& dict = *new Dictionary({
+      {"robert", "bob"},     {"william", "bill"},  {"james", "jim"},
+      {"richard", "rick"},   {"thomas", "tom"},    {"charles", "chuck"},
+      {"margaret", "peggy"}, {"elizabeth", "liz"}, {"katherine", "kate"},
+      {"michael", "mike"},   {"christopher", "chris"}, {"daniel", "dan"},
+      {"matthew", "matt"},   {"steven", "steve"},  {"jeffrey", "jeff"},
+      {"kenneth", "ken"},    {"joseph", "joe"},    {"david", "dave"},
+      {"anthony", "tony"},   {"patricia", "pat"},  {"jonathan", "jon"},
+      {"samuel", "sam"},     {"benjamin", "ben"},  {"timothy", "tim"},
+  });
+  return dict;
+}
+
+const Dictionary& JournalWords() {
+  static const Dictionary& dict = *new Dictionary({
+      {"Journal", "J."},        {"International", "Int."},
+      {"Review", "Rev."},       {"Proceedings", "Proc."},
+      {"Transactions", "Trans."}, {"Quarterly", "Q."},
+      {"American", "Am."},      {"European", "Eur."},
+      {"Annals", "Ann."},       {"Bulletin", "Bull."},
+      {"Advances", "Adv."},     {"Applied", "Appl."},
+      {"Research", "Res."},     {"Science", "Sci."},
+      {"Engineering", "Eng."},  {"Medicine", "Med."},
+      {"Biology", "Biol."},     {"Chemistry", "Chem."},
+      {"Physics", "Phys."},     {"Mathematics", "Math."},
+      {"Computing", "Comput."}, {"Systems", "Syst."},
+      {"Letters", "Lett."},     {"Studies", "Stud."},
+      {"National", "Natl."},    {"Society", "Soc."},
+      {"Association", "Assoc."}, {"Clinical", "Clin."},
+      {"Experimental", "Exp."}, {"Theoretical", "Theor."},
+  });
+  return dict;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "Main",     "Oak",      "Pine",   "Maple",    "Cedar",  "Elm",
+      "Lake",     "Hill",     "Park",   "River",    "Spring", "Church",
+      "Mill",     "Walnut",   "Center", "Union",    "Prospect", "Highland",
+      "Franklin", "Jefferson", "Madison", "Monroe",  "Grant",  "Lincoln",
+  };
+  return names;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "mary",    "john",   "linda",  "susan",  "karen",   "nancy",
+      "betty",   "helen",  "sandra", "donna",  "carol",   "ruth",
+      "sharon",  "laura",  "sarah",  "jessica", "anna",   "lisa",
+      "emily",   "alice",  "julia",  "grace",  "robert",  "william",
+      "james",   "richard", "thomas", "charles", "margaret", "elizabeth",
+      "katherine", "michael", "christopher", "daniel", "matthew", "steven",
+      "jeffrey", "kenneth", "joseph", "david", "anthony", "patricia",
+      "jonathan", "samuel", "benjamin", "timothy",
+  };
+  return names;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "smith",   "johnson", "brown",  "taylor",  "anderson", "clark",
+      "lewis",   "walker",  "hall",   "allen",   "young",    "king",
+      "wright",  "scott",   "green",  "baker",   "adams",    "nelson",
+      "carter",  "mitchell", "turner", "phillips", "campbell", "parker",
+      "evans",   "edwards", "collins", "stewart", "morris",   "rogers",
+      "reed",    "cook",    "morgan", "bell",    "murphy",   "bailey",
+      "rivera",  "cooper",  "richardson", "cox", "howard",   "ward",
+      "peterson", "gray",   "ramirez", "watson", "brooks",   "kelly",
+  };
+  return names;
+}
+
+const std::vector<std::string>& Fields() {
+  static const std::vector<std::string>& fields = *new std::vector<std::string>{
+      "Biology",    "Chemistry",  "Physics",     "Medicine",
+      "Economics",  "Sociology",  "Psychology",  "Linguistics",
+      "Statistics", "Mathematics", "Engineering", "Education",
+      "Ecology",    "Genetics",   "Neuroscience", "Oncology",
+      "Cardiology", "Immunology", "Geology",     "Astronomy",
+      "Agronomy",   "Botany",     "Zoology",     "Pharmacology",
+  };
+  return fields;
+}
+
+const std::vector<std::string>& FieldQualifiers() {
+  static const std::vector<std::string>& words = *new std::vector<std::string>{
+      "Research", "Letters", "Reports",  "Methods",
+      "Practice", "Theory",  "Education", "Systems",
+  };
+  return words;
+}
+
+std::string OrdinalOf(int number) {
+  USTL_CHECK(number > 0);
+  int mod100 = number % 100;
+  int mod10 = number % 10;
+  const char* suffix = "th";
+  if (mod100 < 11 || mod100 > 13) {
+    if (mod10 == 1) suffix = "st";
+    if (mod10 == 2) suffix = "nd";
+    if (mod10 == 3) suffix = "rd";
+  }
+  return std::to_string(number) + suffix;
+}
+
+std::optional<std::string> StripOrdinal(std::string_view token) {
+  if (token.size() < 3) return std::nullopt;
+  std::string_view digits = token.substr(0, token.size() - 2);
+  std::string_view suffix = token.substr(token.size() - 2);
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  int number = 0;
+  for (char c : digits) number = number * 10 + (c - '0');
+  if (number <= 0) return std::nullopt;
+  if (OrdinalOf(number) != std::string(token)) return std::nullopt;
+  (void)suffix;
+  return std::string(digits);
+}
+
+bool OrdinalPair(std::string_view a, std::string_view b) {
+  auto stripped_a = StripOrdinal(a);
+  if (stripped_a.has_value() && *stripped_a == b) return true;
+  auto stripped_b = StripOrdinal(b);
+  return stripped_b.has_value() && *stripped_b == a;
+}
+
+bool InitialPair(std::string_view a, std::string_view b) {
+  auto is_initial_of = [](std::string_view initial, std::string_view full) {
+    return initial.size() == 2 && initial[1] == '.' && full.size() >= 2 &&
+           std::tolower(static_cast<unsigned char>(initial[0])) ==
+               std::tolower(static_cast<unsigned char>(full[0])) &&
+           full.find('.') == std::string_view::npos;
+  };
+  return is_initial_of(a, b) || is_initial_of(b, a);
+}
+
+}  // namespace ustl

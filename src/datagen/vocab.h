@@ -1,0 +1,76 @@
+// Shared vocabularies for the synthetic dataset generators. The
+// transformation families mirror what the paper's three real datasets
+// exhibit (Table 4, Figure 2, Section 8): street-suffix/state/direction
+// abbreviations and ordinals for Address, name transposition / initials /
+// nicknames / annotations for AuthorList, and word abbreviations for
+// JournalTitle.
+#ifndef USTL_DATAGEN_VOCAB_H_
+#define USTL_DATAGEN_VOCAB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ustl {
+
+/// A bidirectional full-form <-> abbreviation dictionary.
+class Dictionary {
+ public:
+  explicit Dictionary(
+      std::vector<std::pair<std::string, std::string>> entries);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  /// Abbreviation of a full form, if known.
+  std::optional<std::string> Abbreviate(std::string_view full) const;
+  /// Full form of an abbreviation, if known.
+  std::optional<std::string> Expand(std::string_view abbr) const;
+  /// True iff {a, b} is a dictionary pair in either direction.
+  bool ArePaired(std::string_view a, std::string_view b) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::unordered_map<std::string, std::string> full_to_abbr_;
+  std::unordered_map<std::string, std::string> abbr_to_full_;
+};
+
+/// Street suffixes: Street/St, Avenue/Ave, ...
+const Dictionary& StreetSuffixes();
+/// US states (single-token names only): Wisconsin/WI, California/CA, ...
+const Dictionary& States();
+/// Compass directions: East/E, ...
+const Dictionary& Directions();
+/// First-name nicknames: robert/bob, william/bill, ... (lowercase).
+const Dictionary& Nicknames();
+/// Journal-title word abbreviations: Journal/J., Review/Rev., ...
+const Dictionary& JournalWords();
+
+/// Street names for address generation.
+const std::vector<std::string>& StreetNames();
+/// Lowercase first names (including the nickname full forms).
+const std::vector<std::string>& FirstNames();
+/// Lowercase last names.
+const std::vector<std::string>& LastNames();
+/// Scientific fields for journal titles.
+const std::vector<std::string>& Fields();
+/// Secondary title words for journal titles.
+const std::vector<std::string>& FieldQualifiers();
+
+/// "9" -> "9th", "3" -> "3rd", "22" -> "22nd", "11" -> "11th" (English
+/// ordinal suffix rules).
+std::string OrdinalOf(int number);
+/// Strips a trailing ordinal suffix: "9th" -> "9"; nullopt when `token` is
+/// not an ordinal.
+std::optional<std::string> StripOrdinal(std::string_view token);
+/// True iff {a, b} are the cardinal/ordinal forms of the same number.
+bool OrdinalPair(std::string_view a, std::string_view b);
+/// True iff one token is the dotted initial of the other ("m." / "mary").
+bool InitialPair(std::string_view a, std::string_view b);
+
+}  // namespace ustl
+
+#endif  // USTL_DATAGEN_VOCAB_H_

@@ -1,0 +1,39 @@
+#include "dsl/interner.h"
+
+#include "common/status.h"
+
+namespace ustl {
+
+LabelId LabelInterner::Intern(const StringFn& fn) {
+  std::string key = fn.Key();
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(fns_.size());
+  by_key_.emplace(std::move(key), id);
+  fns_.push_back(fn);
+  return id;
+}
+
+bool LabelInterner::Lookup(const StringFn& fn, LabelId* id) const {
+  auto it = by_key_.find(fn.Key());
+  if (it == by_key_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+const StringFn& LabelInterner::Get(LabelId id) const {
+  USTL_CHECK(id < fns_.size());
+  return fns_[id];
+}
+
+std::string PathToString(const LabelPath& path,
+                         const LabelInterner& interner) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += " (+) ";
+    out += interner.Get(path[i]).ToString();
+  }
+  return out;
+}
+
+}  // namespace ustl

@@ -1,0 +1,45 @@
+// Textual round-trip for transformation programs. Approved groups carry a
+// pivot program; persisting them (transformation logs, the CLI tool,
+// cross-run reuse) needs a parseable form. SerializeProgram emits the same
+// surface syntax as Program::ToString but with fully escaped string
+// literals, and ParseProgram reads it back:
+//
+//   SubStr(MatchPos(TC, 1, B), MatchPos(Tl, 1, E)) (+) ConstantStr(". ")
+//
+// Grammar (whitespace-insensitive between tokens):
+//   program := fn ( "(+)" fn )*
+//   fn      := ConstantStr "(" string ")"
+//            | SubStr "(" pos "," pos ")"
+//            | Prefix "(" term "," int ")"
+//            | Suffix "(" term "," int ")"
+//   pos     := ConstPos "(" int ")"
+//            | MatchPos "(" term "," int "," ("B"|"E") ")"
+//   term    := "Td" | "Tl" | "TC" | "Tb" | "T" string
+//   string  := '"' (escaped chars) '"'   with \\ \" \n \t \r \xNN escapes
+//
+// ParseProgram(SerializeProgram(p)) reconstructs p exactly for every
+// valid program; ToString output is also accepted whenever its literals
+// contain no quote or backslash characters.
+#ifndef USTL_DSL_PARSER_H_
+#define USTL_DSL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "dsl/program.h"
+
+namespace ustl {
+
+/// Quotes a string literal with invertible escaping.
+std::string QuoteStringLiteral(std::string_view s);
+
+/// Canonical, parseable text form of a program.
+std::string SerializeProgram(const Program& program);
+
+/// Parses the grammar above. Errors carry a byte offset and a reason.
+Result<Program> ParseProgram(std::string_view text);
+
+}  // namespace ustl
+
+#endif  // USTL_DSL_PARSER_H_

@@ -1,0 +1,120 @@
+#include "dsl/program.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ustl {
+
+Program Program::FromPath(const LabelPath& path,
+                          const LabelInterner& interner) {
+  std::vector<StringFn> fns;
+  fns.reserve(path.size());
+  for (LabelId id : path) fns.push_back(interner.Get(id));
+  return Program(std::move(fns));
+}
+
+Result<std::vector<std::string>> Program::Evaluate(std::string_view s,
+                                                   size_t max_outputs) const {
+  std::vector<std::string> acc = {""};
+  for (const StringFn& fn : fns_) {
+    std::vector<std::string> choices = fn.Eval(s);
+    if (choices.empty()) return std::vector<std::string>{};
+    if (acc.size() * choices.size() > max_outputs) {
+      return Status::ResourceExhausted(
+          "program output set exceeds " + std::to_string(max_outputs));
+    }
+    std::vector<std::string> next;
+    next.reserve(acc.size() * choices.size());
+    for (const std::string& prefix : acc) {
+      for (const std::string& choice : choices) {
+        next.push_back(prefix + choice);
+      }
+    }
+    acc = std::move(next);
+  }
+  std::sort(acc.begin(), acc.end());
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+  return acc;
+}
+
+Result<std::string> Program::EvaluateDeterministic(std::string_view s) const {
+  std::string out;
+  for (const StringFn& fn : fns_) {
+    std::vector<std::string> choices = fn.Eval(s);
+    if (choices.empty()) {
+      return Status::FailedPrecondition("function produced no output: " +
+                                        fn.ToString());
+    }
+    if (choices.size() > 1) {
+      return Status::FailedPrecondition("function is multi-valued: " +
+                                        fn.ToString());
+    }
+    out += choices[0];
+  }
+  return out;
+}
+
+bool Program::MatchFrom(std::string_view s, std::string_view t,
+                        size_t fn_index, size_t t_offset) const {
+  if (fn_index == fns_.size()) return t_offset == t.size();
+  const StringFn& fn = fns_[fn_index];
+  std::string_view rest = t.substr(t_offset);
+  // Try each output choice that is a prefix of the remaining target.
+  for (const std::string& choice : fn.Eval(s)) {
+    if (!choice.empty() && StartsWith(rest, choice) &&
+        MatchFrom(s, t, fn_index + 1, t_offset + choice.size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Program::ConsistentWith(std::string_view s, std::string_view t) const {
+  if (fns_.empty()) return false;
+  return MatchFrom(s, t, 0, 0);
+}
+
+std::optional<std::vector<std::string>> Program::SplitTarget(
+    std::string_view s, std::string_view t) const {
+  if (fns_.empty()) return std::nullopt;
+  std::vector<std::string> pieces;
+  auto dfs = [&](auto&& self, size_t fn_index, size_t t_offset) -> bool {
+    if (fn_index == fns_.size()) return t_offset == t.size();
+    std::string_view rest = t.substr(t_offset);
+    for (const std::string& choice : fns_[fn_index].Eval(s)) {
+      if (choice.empty() || !StartsWith(rest, choice)) continue;
+      pieces.push_back(choice);
+      if (self(self, fn_index + 1, t_offset + choice.size())) return true;
+      pieces.pop_back();
+    }
+    return false;
+  };
+  if (!dfs(dfs, 0, 0)) return std::nullopt;
+  return pieces;
+}
+
+double Program::ConstantCoverage(std::string_view s,
+                                 std::string_view t) const {
+  if (t.empty()) return 0.0;
+  std::optional<std::vector<std::string>> pieces = SplitTarget(s, t);
+  if (!pieces.has_value()) return 0.0;
+  size_t constant_chars = 0;
+  for (size_t i = 0; i < pieces->size(); ++i) {
+    if (fns_[i].kind() == StringFn::Kind::kConstantStr) {
+      constant_chars += (*pieces)[i].size();
+    }
+  }
+  return static_cast<double>(constant_chars) / static_cast<double>(t.size());
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fns_.size(); ++i) {
+    if (i > 0) out += " (+) ";
+    out += fns_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ustl

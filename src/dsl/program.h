@@ -1,0 +1,74 @@
+// Transformation programs (Definition 5). A program is a sequence of
+// string functions f1 (+) f2 (+) ... (+) fn; its outputs on an input s are
+// the concatenations of one output choice per function. With the affix
+// extension a program is multi-valued; a program is *consistent* with a
+// replacement s -> t iff t is one of its outputs (Appendix D).
+#ifndef USTL_DSL_PROGRAM_H_
+#define USTL_DSL_PROGRAM_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dsl/interner.h"
+#include "dsl/string_function.h"
+
+namespace ustl {
+
+/// An executable transformation program.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<StringFn> fns) : fns_(std::move(fns)) {}
+
+  /// Reconstructs a program from an interned label path.
+  static Program FromPath(const LabelPath& path, const LabelInterner& interner);
+
+  const std::vector<StringFn>& functions() const { return fns_; }
+  bool empty() const { return fns_.empty(); }
+  size_t size() const { return fns_.size(); }
+
+  void Append(StringFn fn) { fns_.push_back(std::move(fn)); }
+
+  /// All distinct outputs of the program on `s`, in lexicographic order.
+  /// Fails with ResourceExhausted when the output set would exceed
+  /// `max_outputs` (affix functions multiply choices).
+  Result<std::vector<std::string>> Evaluate(std::string_view s,
+                                            size_t max_outputs = 4096) const;
+
+  /// The unique output when every function is single-valued; fails with
+  /// FailedPrecondition if some function produced no output or more than
+  /// one output choice exists.
+  Result<std::string> EvaluateDeterministic(std::string_view s) const;
+
+  /// True iff `t` is an output of the program on `s` (the program is
+  /// consistent with the replacement s -> t). Runs a DFS over per-function
+  /// output choices without materializing the full output set.
+  bool ConsistentWith(std::string_view s, std::string_view t) const;
+
+  /// The per-function pieces of one successful parse of `t` (the first in
+  /// choice order); nullopt when the program is not consistent with
+  /// s -> t. Piece i is the output of functions()[i].
+  std::optional<std::vector<std::string>> SplitTarget(std::string_view s,
+                                                      std::string_view t) const;
+
+  /// Fraction of |t| produced by ConstantStr functions along a successful
+  /// parse; 1.0 for all-constant programs, 0.0 when inconsistent. Used to
+  /// recognize "replace anything by mostly this literal" pivot programs.
+  double ConstantCoverage(std::string_view s, std::string_view t) const;
+
+  /// "f1 (+) f2 (+) f3" with each function rendered via ToString.
+  std::string ToString() const;
+
+ private:
+  bool MatchFrom(std::string_view s, std::string_view t, size_t fn_index,
+                 size_t t_offset) const;
+
+  std::vector<StringFn> fns_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_DSL_PROGRAM_H_

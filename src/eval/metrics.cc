@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ustl {
+
+double Precision(const Confusion& c) {
+  if (c.tp + c.fp == 0) return 1.0;
+  return static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp);
+}
+
+double Recall(const Confusion& c) {
+  if (c.tp + c.fn == 0) return 0.0;
+  return static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn);
+}
+
+double Mcc(const Confusion& c) {
+  double tp = static_cast<double>(c.tp), fp = static_cast<double>(c.fp);
+  double fn = static_cast<double>(c.fn), tn = static_cast<double>(c.tn);
+  double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom == 0.0) return 0.0;
+  return (tp * tn - fp * fn) / denom;
+}
+
+std::vector<SampledPair> SampleLabeledPairs(
+    const Column& column,
+    const std::function<bool(size_t, size_t, size_t)>& is_variant,
+    size_t count, uint64_t seed) {
+  // Enumerate all candidate (cluster, a, b) pairs, then sample without
+  // replacement. Cluster sizes are modest, so materializing is fine.
+  std::vector<SampledPair> all;
+  for (size_t c = 0; c < column.size(); ++c) {
+    const auto& rows = column[c];
+    for (size_t a = 0; a < rows.size(); ++a) {
+      for (size_t b = a + 1; b < rows.size(); ++b) {
+        if (rows[a] == rows[b]) continue;
+        all.push_back(SampledPair{c, a, b, is_variant(c, a, b)});
+      }
+    }
+  }
+  Rng rng(seed);
+  rng.Shuffle(&all);
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+Confusion EvaluateIdentity(const Column& column,
+                           const std::vector<SampledPair>& samples) {
+  Confusion c;
+  for (const SampledPair& s : samples) {
+    bool identical = column[s.cluster][s.row_a] == column[s.cluster][s.row_b];
+    if (s.is_variant) {
+      identical ? ++c.tp : ++c.fn;
+    } else {
+      identical ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+}  // namespace ustl

@@ -1,0 +1,57 @@
+// The evaluation protocol of Section 8: sample non-identical in-cluster
+// value pairs, label each variant/conflict from ground truth, standardize,
+// then count pairs that became identical. TP = variant & identical,
+// FN = variant & still different, FP = conflict & identical, TN = conflict
+// & still different (Table 7). Metrics: precision, recall, MCC (the paper
+// avoids F1 because of class imbalance).
+#ifndef USTL_EVAL_METRICS_H_
+#define USTL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "replace/replacement.h"
+
+namespace ustl {
+
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+};
+
+/// TP / (TP + FP); 1.0 when no positives were produced (nothing wrongly
+/// merged), matching how the paper reports precision at budget 0.
+double Precision(const Confusion& c);
+/// TP / (TP + FN); 0.0 when there are no variant pairs.
+double Recall(const Confusion& c);
+/// Matthews correlation coefficient in [-1, 1]; 0.0 when undefined.
+double Mcc(const Confusion& c);
+
+/// One labelled sample: a pair of cells of the same cluster with
+/// non-identical values at sampling time.
+struct SampledPair {
+  size_t cluster = 0;
+  size_t row_a = 0;
+  size_t row_b = 0;
+  bool is_variant = false;
+};
+
+/// Samples up to `count` distinct non-identical in-cluster cell pairs,
+/// labelled by `is_variant(cluster, row_a, row_b)` (ground truth).
+/// Deterministic in `seed`.
+std::vector<SampledPair> SampleLabeledPairs(
+    const Column& column,
+    const std::function<bool(size_t, size_t, size_t)>& is_variant,
+    size_t count, uint64_t seed);
+
+/// Checks which sampled pairs became identical in the (standardized)
+/// column and fills the confusion matrix per Table 7.
+Confusion EvaluateIdentity(const Column& column,
+                           const std::vector<SampledPair>& samples);
+
+}  // namespace ustl
+
+#endif  // USTL_EVAL_METRICS_H_

@@ -1,0 +1,68 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ustl {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += row[i];
+      line.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& column_names,
+                         const std::vector<std::vector<double>>& rows) {
+  std::string out = "# " + title + "\n# ";
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += " ";
+    out += column_names[i];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " ";
+      out += i == 0 ? Fmt(row[i], 0) : Fmt(row[i], 4);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ustl

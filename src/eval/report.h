@@ -1,0 +1,35 @@
+// Plain-text report helpers for the benchmark harnesses: aligned tables
+// (Table 6 / Table 8 analogs) and gnuplot-ready series (Figures 6-10).
+#ifndef USTL_EVAL_REPORT_H_
+#define USTL_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ustl {
+
+/// A simple fixed-width table printer.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with column-aligned padding and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string Fmt(double value, int digits = 3);
+
+/// Prints a metric series "x y1 y2 ..." with a "# x name1 name2" header —
+/// one block per figure panel, directly plottable.
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& column_names,
+                         const std::vector<std::vector<double>>& rows);
+
+}  // namespace ustl
+
+#endif  // USTL_EVAL_REPORT_H_

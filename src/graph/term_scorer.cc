@@ -1,0 +1,26 @@
+#include "graph/term_scorer.h"
+
+#include <cmath>
+
+#include "text/terms.h"
+
+namespace ustl {
+
+void CorpusFrequency::Add(std::string_view s) {
+  for (const Token& token : ClassTokens(s)) ++freq_[token.text];
+}
+
+int64_t CorpusFrequency::Get(std::string_view token) const {
+  auto it = freq_.find(std::string(token));
+  return it == freq_.end() ? 0 : it->second;
+}
+
+double FrequencyTermScorer::Score(std::string_view token) const {
+  int64_t struc = struc_.Get(token);
+  if (struc == 0) return 0.0;
+  int64_t global = global_ != nullptr ? global_->Get(token) : struc;
+  if (global < struc) global = struc;  // guard against inconsistent feeding
+  return static_cast<double>(struc) / std::sqrt(static_cast<double>(global));
+}
+
+}  // namespace ustl

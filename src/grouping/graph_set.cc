@@ -1,0 +1,26 @@
+#include "grouping/graph_set.h"
+
+namespace ustl {
+
+Result<GraphSet> GraphSet::Build(const std::vector<StringPair>& pairs,
+                                 const GraphBuilder& builder) {
+  GraphSet set;
+  set.graphs_.reserve(pairs.size());
+  for (const StringPair& pair : pairs) {
+    Result<TransformationGraph> graph = builder.Build(pair.lhs, pair.rhs);
+    if (!graph.ok()) return graph.status();
+    set.graphs_.push_back(std::move(graph).value());
+  }
+  set.index_ = InvertedIndex::Build(set.graphs_);
+  set.alive_.assign(set.graphs_.size(), 1);
+  set.interner_ = builder.interner();
+  return set;
+}
+
+size_t GraphSet::AliveCount() const {
+  size_t count = 0;
+  for (char a : alive_) count += a != 0;
+  return count;
+}
+
+}  // namespace ustl

@@ -1,0 +1,63 @@
+// Group types shared by the grouping algorithms.
+#ifndef USTL_GROUPING_GROUP_H_
+#define USTL_GROUPING_GROUP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsl/interner.h"
+#include "graph/transformation_graph.h"
+
+namespace ustl {
+
+/// An input replacement for grouping: an ordered pair of different strings.
+struct StringPair {
+  std::string lhs;
+  std::string rhs;
+
+  bool operator==(const StringPair& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator<(const StringPair& o) const {
+    if (lhs != o.lhs) return lhs < o.lhs;
+    return rhs < o.rhs;
+  }
+};
+
+/// A group local to one GraphSet: the shared pivot path and the member
+/// graph ids.
+struct ReplacementGroup {
+  LabelPath pivot;
+  std::vector<GraphId> members;
+
+  size_t size() const { return members.size(); }
+};
+
+/// A group at the driver level: members refer to indices into the original
+/// pair list; `structure` is the structure-group key the group came from
+/// (empty when structure refinement is off).
+struct Group {
+  LabelPath pivot;
+  std::string structure;
+  std::string program;  // human-readable pivot program for reports
+  std::vector<size_t> member_pair_indices;
+  /// True when the pivot is a single full-width ConstantStr label, i.e.
+  /// "replace anything by this exact string". Such groups arise from
+  /// several different values pairing with one identical value (typically
+  /// repeated conflicts) and never describe a format transformation; the
+  /// framework can skip them (see FrameworkOptions).
+  bool pure_constant = false;
+  /// Fraction of the first member's target produced by ConstantStr
+  /// functions along the pivot program (Program::ConstantCoverage).
+  /// Constant-heavy pivots are "mostly replace by this literal" programs —
+  /// repeated-conflict artifacts rather than format transformations.
+  /// pure_constant groups have coverage 1.0.
+  double constant_coverage = 0.0;
+
+  size_t size() const { return member_pair_indices.size(); }
+};
+
+}  // namespace ustl
+
+#endif  // USTL_GROUPING_GROUP_H_

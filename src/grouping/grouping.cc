@@ -1,0 +1,283 @@
+#include "grouping/grouping.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+#include "dsl/parser.h"
+#include "dsl/program.h"
+#include "text/structure.h"
+
+namespace ustl {
+
+std::vector<std::pair<std::string, std::vector<size_t>>>
+PartitionByStructure(const std::vector<StringPair>& pairs,
+                     bool structure_refinement) {
+  std::map<std::string, std::vector<size_t>> partition;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    std::string key = structure_refinement
+                          ? ReplacementStructure(pairs[i].lhs, pairs[i].rhs)
+                          : std::string();
+    partition[key].push_back(i);
+  }
+  std::vector<std::pair<std::string, std::vector<size_t>>> out;
+  out.reserve(partition.size());
+  for (auto& [key, indices] : partition) {
+    out.emplace_back(key, std::move(indices));
+  }
+  return out;
+}
+
+namespace {
+
+// Builds the per-structure-group scorer (Appendix E) fed with the group's
+// strings; `global` is the shared whole-input frequency table.
+std::unique_ptr<FrequencyTermScorer> MakeScorer(
+    const std::vector<StringPair>& pairs, const std::vector<size_t>& indices,
+    const CorpusFrequency* global) {
+  auto scorer = std::make_unique<FrequencyTermScorer>(global);
+  for (size_t i : indices) {
+    scorer->AddStructureString(pairs[i].lhs);
+    scorer->AddStructureString(pairs[i].rhs);
+  }
+  return scorer;
+}
+
+std::vector<StringPair> SelectPairs(const std::vector<StringPair>& pairs,
+                                    const std::vector<size_t>& indices) {
+  std::vector<StringPair> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(pairs[i]);
+  return out;
+}
+
+// Fills the pure_constant and constant_coverage annotations of a group
+// whose members are already resolved; `first` is any member pair (the
+// pivot program is consistent with every member, so one representative
+// suffices).
+void AnnotateGroup(const LabelInterner& interner, const StringPair& first,
+                   Group* group) {
+  group->pure_constant = !group->pivot.empty();
+  for (LabelId label : group->pivot) {
+    if (interner.Get(label).kind() != StringFn::Kind::kConstantStr) {
+      group->pure_constant = false;
+      break;
+    }
+  }
+  group->constant_coverage = Program::FromPath(group->pivot, interner)
+                                 .ConstantCoverage(first.lhs, first.rhs);
+}
+
+}  // namespace
+
+std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
+                                   const GroupingOptions& options,
+                                   bool early_termination, UpfrontStats* stats,
+                                   uint64_t max_expansions) {
+  Timer timer;
+  CorpusFrequency global_corpus;
+  if (options.use_term_scorer) {
+    for (const StringPair& pair : pairs) {
+      global_corpus.Add(pair.lhs);
+      global_corpus.Add(pair.rhs);
+    }
+  }
+
+  std::vector<Group> groups;
+  OneShotStats search_stats;
+  for (auto& [structure, indices] :
+       PartitionByStructure(pairs, options.structure_refinement)) {
+    LabelInterner interner;
+    std::unique_ptr<FrequencyTermScorer> scorer;
+    GraphBuilderOptions graph_options = options.graph;
+    if (options.use_term_scorer && options.structure_refinement) {
+      scorer = MakeScorer(pairs, indices, &global_corpus);
+      graph_options.scorer = scorer.get();
+    }
+    GraphBuilder builder(graph_options, &interner);
+    Result<GraphSet> set = GraphSet::Build(SelectPairs(pairs, indices),
+                                           builder);
+    USTL_CHECK(set.ok());
+
+    OneShotOptions oneshot;
+    oneshot.early_termination = early_termination;
+    oneshot.max_path_len = options.max_path_len;
+    oneshot.max_expansions = max_expansions;
+    std::vector<ReplacementGroup> local =
+        UnsupervisedGrouping(*set, oneshot, &search_stats);
+    for (ReplacementGroup& rg : local) {
+      Group group;
+      group.pivot = std::move(rg.pivot);
+      group.structure = structure;
+      group.program =
+          SerializeProgram(Program::FromPath(group.pivot, interner));
+      group.member_pair_indices.reserve(rg.members.size());
+      for (GraphId g : rg.members) {
+        group.member_pair_indices.push_back(indices[g]);
+      }
+      if (!group.member_pair_indices.empty()) {
+        AnnotateGroup(interner, pairs[group.member_pair_indices[0]], &group);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const Group& a, const Group& b) {
+                     return a.size() > b.size();
+                   });
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->expansions = search_stats.expansions;
+    stats->truncated = search_stats.truncated;
+    stats->num_groups = groups.size();
+  }
+  return groups;
+}
+
+GroupingEngine::GroupingEngine(std::vector<StringPair> pairs,
+                               GroupingOptions options)
+    : pairs_(std::move(pairs)), options_(options) {
+  if (options_.use_term_scorer) {
+    for (const StringPair& pair : pairs_) {
+      global_corpus_.Add(pair.lhs);
+      global_corpus_.Add(pair.rhs);
+    }
+  }
+  for (auto& [structure, indices] :
+       PartitionByStructure(pairs_, options_.structure_refinement)) {
+    SubGroup sub;
+    sub.structure = structure;
+    sub.pair_indices = std::move(indices);
+    subs_.push_back(std::move(sub));
+  }
+}
+
+void GroupingEngine::Preprocess(SubGroup* sub) {
+  if (sub->engine != nullptr) return;
+  sub->interner = std::make_unique<LabelInterner>();
+  GraphBuilderOptions graph_options = options_.graph;
+  if (options_.use_term_scorer && options_.structure_refinement) {
+    sub->scorer = MakeScorer(pairs_, sub->pair_indices, &global_corpus_);
+    graph_options.scorer = sub->scorer.get();
+  }
+  GraphBuilder builder(graph_options, sub->interner.get());
+  Result<GraphSet> set =
+      GraphSet::Build(SelectPairs(pairs_, sub->pair_indices), builder);
+  USTL_CHECK(set.ok());
+  IncrementalOptions inc_options;
+  inc_options.max_path_len = options_.max_path_len;
+  inc_options.max_expansions_per_search = options_.max_expansions_per_search;
+  inc_options.sample_size = options_.pivot_sample_size;
+  inc_options.sample_seed = options_.pivot_sample_seed;
+  // The expansion budget is shared across structure groups: hand each
+  // newly preprocessed engine whatever is left.
+  if (options_.max_total_expansions !=
+      std::numeric_limits<uint64_t>::max()) {
+    uint64_t spent = 0;
+    for (const SubGroup& other : subs_) {
+      if (other.engine != nullptr) spent += other.engine->stats().expansions;
+    }
+    inc_options.max_total_expansions =
+        options_.max_total_expansions > spent
+            ? options_.max_total_expansions - spent
+            : 0;
+  }
+  sub->engine = std::make_unique<IncrementalEngine>(std::move(set).value(),
+                                                    inc_options);
+}
+
+int GroupingEngine::SubHint(const SubGroup& sub) const {
+  if (sub.exhausted) return 0;
+  if (sub.engine == nullptr) {
+    // Section 7.2: before preprocessing, the structure-group size is the
+    // upper bound for every replacement in it.
+    return static_cast<int>(sub.pair_indices.size());
+  }
+  return sub.engine->UpperHint();
+}
+
+std::optional<Group> GroupingEngine::Next() {
+  // Lazy k-way merge over the disjoint structure groups: keep at most one
+  // candidate group cached per sub-group, and refine (preprocess + peek)
+  // the sub-group with the highest hint until no unpeeked sub-group could
+  // beat the best cached candidate.
+  while (true) {
+    // Best cached candidate across sub-groups.
+    SubGroup* best_sub = nullptr;
+    int best_size = 0;
+    for (SubGroup& sub : subs_) {
+      if (sub.exhausted || sub.engine == nullptr || !sub.engine->HasPeeked()) {
+        continue;
+      }
+      const std::optional<ReplacementGroup>& peek = sub.engine->Peek();
+      if (!peek.has_value()) {
+        sub.exhausted = true;
+        continue;
+      }
+      int size = static_cast<int>(peek->members.size());
+      if (best_sub == nullptr || size > best_size) {
+        best_sub = &sub;
+        best_size = size;
+      }
+    }
+    // Highest-hint sub-group without a cached candidate.
+    SubGroup* refine = nullptr;
+    int refine_hint = 0;
+    for (SubGroup& sub : subs_) {
+      if (sub.exhausted) continue;
+      if (sub.engine != nullptr && sub.engine->HasPeeked()) continue;
+      int hint = SubHint(sub);
+      if (hint > refine_hint) {
+        refine = &sub;
+        refine_hint = hint;
+      }
+    }
+    if (refine != nullptr && refine_hint > best_size) {
+      Preprocess(refine);
+      const std::optional<ReplacementGroup>& peek = refine->engine->Peek();
+      if (!peek.has_value()) refine->exhausted = true;
+      continue;
+    }
+    if (best_sub == nullptr) return std::nullopt;
+
+    const std::optional<ReplacementGroup>& peek = best_sub->engine->Peek();
+    USTL_CHECK(peek.has_value());
+    Group group;
+    group.pivot = peek->pivot;
+    group.structure = best_sub->structure;
+    group.program = SerializeProgram(
+        Program::FromPath(group.pivot, *best_sub->interner));
+    for (GraphId g : peek->members) {
+      group.member_pair_indices.push_back(best_sub->pair_indices[g]);
+    }
+    if (!group.member_pair_indices.empty()) {
+      AnnotateGroup(*best_sub->interner,
+                    pairs_[group.member_pair_indices[0]], &group);
+    }
+    best_sub->engine->ConsumePeeked();
+    stats_.expansions = 0;
+    stats_.searches = 0;
+    stats_.truncated = false;
+    for (const SubGroup& sub : subs_) {
+      if (sub.engine != nullptr) {
+        stats_.expansions += sub.engine->stats().expansions;
+        stats_.searches += sub.engine->stats().searches;
+        stats_.truncated |= sub.engine->stats().truncated;
+      }
+    }
+    return group;
+  }
+}
+
+size_t GroupingEngine::RemainingCount() const {
+  size_t count = 0;
+  for (const SubGroup& sub : subs_) {
+    if (sub.exhausted) continue;
+    count += sub.engine == nullptr ? sub.pair_indices.size()
+                                   : sub.engine->AliveCount();
+  }
+  return count;
+}
+
+}  // namespace ustl

@@ -1,0 +1,114 @@
+// Top-level grouping drivers. They combine structure refinement
+// (Section 7.2), the Appendix-E term scorer, graph construction, and either
+// the upfront UnsupervisedGrouping (OneShot / EarlyTerm) or the incremental
+// top-k engine (Section 6) into the interface the consolidation framework
+// consumes: "give me replacement groups, largest first".
+#ifndef USTL_GROUPING_GROUPING_H_
+#define USTL_GROUPING_GROUPING_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/term_scorer.h"
+#include "grouping/group.h"
+#include "grouping/incremental.h"
+#include "grouping/oneshot.h"
+
+namespace ustl {
+
+/// Configuration shared by all grouping drivers.
+struct GroupingOptions {
+  /// Graph construction knobs (affix on/off for Figure 10, length caps...).
+  /// The `scorer` field is managed internally; leave it null.
+  GraphBuilderOptions graph;
+  /// Maximum pivot path length theta (Section 8.2).
+  int max_path_len = 6;
+  /// Partition by structure before grouping (Section 7.2).
+  bool structure_refinement = true;
+  /// Build a FrequencyTermScorer per structure group (Appendix E). Only
+  /// effective when structure_refinement is on.
+  bool use_term_scorer = true;
+  /// Per-search DFS expansion budget (see IncrementalOptions). Unlimited
+  /// by default; set a finite budget when grouping heterogeneous inputs
+  /// without structure refinement, whose label space explodes.
+  uint64_t max_expansions_per_search = std::numeric_limits<uint64_t>::max();
+  /// Total DFS expansion budget across the whole engine (all structure
+  /// groups). See IncrementalOptions::max_total_expansions.
+  uint64_t max_total_expansions = std::numeric_limits<uint64_t>::max();
+  /// Appendix-E sampling: pivot counts taken over a sample of this many
+  /// graphs per structure group when the group is larger. 0 = exact.
+  /// See IncrementalOptions::sample_size.
+  size_t pivot_sample_size = 0;
+  uint64_t pivot_sample_seed = 0x5eed;
+};
+
+/// Statistics of an upfront grouping run, for Figure 9.
+struct UpfrontStats {
+  double seconds = 0.0;
+  uint64_t expansions = 0;
+  bool truncated = false;
+  size_t num_groups = 0;
+};
+
+/// Runs the upfront partitioner over all pairs: builds every graph, indexes
+/// them per structure group, computes every pivot (with or without the
+/// Algorithm-4 early terminations) and returns all groups sorted by size
+/// descending. This is the paper's OneShot (early_termination = false) /
+/// EarlyTerm (true).
+std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
+                                   const GroupingOptions& options,
+                                   bool early_termination,
+                                   UpfrontStats* stats,
+                                   uint64_t max_expansions =
+                                       std::numeric_limits<uint64_t>::max());
+
+/// The incremental driver (Algorithm 5): structure groups are preprocessed
+/// lazily, and each Next() returns the globally largest remaining group.
+/// Structure groups are disjoint, so one cached candidate per group makes
+/// Next() a lazy k-way merge.
+class GroupingEngine {
+ public:
+  GroupingEngine(std::vector<StringPair> pairs, GroupingOptions options);
+
+  /// Returns and consumes the next largest group; nullopt when exhausted.
+  std::optional<Group> Next();
+
+  /// Total replacements not yet grouped.
+  size_t RemainingCount() const;
+
+  /// Cumulative search statistics across all structure groups.
+  IncrementalStats stats() const { return stats_; }
+
+ private:
+  struct SubGroup {
+    std::string structure;
+    std::vector<size_t> pair_indices;           // into pairs_
+    std::unique_ptr<LabelInterner> interner;
+    std::unique_ptr<FrequencyTermScorer> scorer;
+    std::unique_ptr<IncrementalEngine> engine;  // null until preprocessed
+    bool exhausted = false;
+  };
+
+  void Preprocess(SubGroup* sub);
+  int SubHint(const SubGroup& sub) const;
+
+  std::vector<StringPair> pairs_;
+  GroupingOptions options_;
+  CorpusFrequency global_corpus_;
+  std::vector<SubGroup> subs_;
+  IncrementalStats stats_;
+};
+
+/// Helper shared by the drivers and tests: partitions pair indices by the
+/// replacement structure (one partition with empty key when refinement is
+/// off).
+std::vector<std::pair<std::string, std::vector<size_t>>>
+PartitionByStructure(const std::vector<StringPair>& pairs,
+                     bool structure_refinement);
+
+}  // namespace ustl
+
+#endif  // USTL_GROUPING_GROUPING_H_

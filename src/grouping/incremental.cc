@@ -1,0 +1,193 @@
+#include "grouping/incremental.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace ustl {
+namespace {
+
+PivotSearcher::Options SearcherOptions(const IncrementalOptions& options) {
+  PivotSearcher::Options out;
+  out.local_early_term = true;
+  out.global_early_term = true;
+  out.max_path_len = options.max_path_len;
+  out.max_expansions = options.max_expansions_per_search;
+  return out;
+}
+
+}  // namespace
+
+IncrementalEngine::IncrementalEngine(GraphSet set, IncrementalOptions options)
+    : set_(std::move(set)),
+      options_(options),
+      searcher_(&set_, SearcherOptions(options)),
+      lower_bounds_(set_.size(), 1),
+      upper_bounds_(set_.size(), 0) {
+  InitUpperBounds();
+  if (options_.sample_size > 0) {
+    sample_order_.resize(set_.size());
+    std::iota(sample_order_.begin(), sample_order_.end(), GraphId{0});
+    Rng rng(options_.sample_seed);
+    rng.Shuffle(&sample_order_);
+  }
+}
+
+bool IncrementalEngine::RefreshSampleMask() {
+  if (options_.sample_size == 0) return false;
+  if (set_.AliveCount() <= options_.sample_size) return false;
+  sample_mask_.assign(set_.size(), 0);
+  size_t taken = 0;
+  for (GraphId g : sample_order_) {
+    if (!set_.alive(g)) continue;
+    sample_mask_[g] = 1;
+    if (++taken == options_.sample_size) break;
+  }
+  return true;
+}
+
+void IncrementalEngine::InitUpperBounds() {
+  // Lemma 6.2: every transformation path covers each position k of t, so
+  // ub[k] = max inverted-list length among labels of edges covering k is an
+  // upper bound, and Gup = min_k ub[k]. Computed in O(|t|^2) per graph via
+  // per-start-node suffix maxima.
+  std::vector<std::vector<int64_t>> suffix;  // reused across graphs
+  for (GraphId g = 0; g < set_.size(); ++g) {
+    const TransformationGraph& graph = set_.graph(g);
+    const int m = graph.num_nodes() - 1;  // |t|
+    suffix.assign(m + 2, std::vector<int64_t>(m + 3, 0));
+    for (int from = 1; from <= m; ++from) {
+      for (const GraphEdge& edge : graph.edges_from(from)) {
+        int64_t edge_max = 0;
+        for (LabelId label : edge.labels) {
+          edge_max = std::max(
+              edge_max, static_cast<int64_t>(set_.index().ListLength(label)));
+        }
+        suffix[from][edge.to] = std::max(suffix[from][edge.to], edge_max);
+      }
+      for (int j = m; j >= from + 1; --j) {
+        suffix[from][j] = std::max(suffix[from][j], suffix[from][j + 1]);
+      }
+    }
+    int64_t gup = std::numeric_limits<int64_t>::max();
+    for (int k = 1; k <= m; ++k) {
+      int64_t ubk = 0;
+      for (int i = 1; i <= k; ++i) {
+        ubk = std::max(ubk, suffix[i][k + 1]);
+      }
+      gup = std::min(gup, ubk);
+    }
+    // A list length counts postings, not graphs, so it is a valid (possibly
+    // loose) bound; cap by the number of graphs.
+    gup = std::min(gup, static_cast<int64_t>(set_.size()));
+    upper_bounds_[g] = static_cast<int>(gup);
+  }
+}
+
+void IncrementalEngine::FillPeek() {
+  if (peeked_) return;
+  peeked_ = true;
+  peek_.reset();
+
+  std::vector<GraphId> order;
+  order.reserve(set_.size());
+  int tau = 0;  // largest lower bound among alive graphs (Algorithm 7 line 2)
+  for (GraphId g = 0; g < set_.size(); ++g) {
+    if (!set_.alive(g)) continue;
+    order.push_back(g);
+    tau = std::max(tau, lower_bounds_[g]);
+  }
+  if (order.empty()) return;
+
+  std::stable_sort(order.begin(), order.end(), [&](GraphId a, GraphId b) {
+    if (upper_bounds_[a] != upper_bounds_[b]) {
+      return upper_bounds_[a] > upper_bounds_[b];
+    }
+    return a < b;
+  });
+
+  // Accept only groups of size >= tau, i.e. strictly greater than tau - 1
+  // (the off-by-one fix described in the header).
+  const bool sampling = RefreshSampleMask();
+  int best_count = tau - 1;
+  PivotSearcher::SearchResult best;
+  for (GraphId g : order) {
+    // Sampled counts never exceed full counts, so the full-unit upper
+    // bounds remain sound against a sample-unit best_count.
+    if (upper_bounds_[g] <= best_count) break;  // Algorithm 7 line 5
+    if (stats_.expansions >= options_.max_total_expansions) {
+      stats_.truncated = true;
+      break;
+    }
+    char restore_mask = 0;
+    if (sampling) {
+      restore_mask = sample_mask_[g];
+      sample_mask_[g] = 1;  // the searched graph always counts itself
+    }
+    PivotSearcher::SearchResult result = searcher_.Search(
+        g, best_count, &lower_bounds_,
+        options_.max_total_expansions - stats_.expansions,
+        sampling ? &sample_mask_ : nullptr);
+    if (sampling) sample_mask_[g] = restore_mask;
+    ++stats_.searches;
+    stats_.expansions += result.expansions;
+    stats_.truncated |= result.truncated;
+    if (result.found) {
+      // Under sampling these bounds are in sample units (under-estimates
+      // of full counts); the ordering they induce is approximate, which
+      // is the deal Appendix E's sampling makes.
+      lower_bounds_[g] = std::max(lower_bounds_[g], result.count);
+      upper_bounds_[g] = result.count;
+      best_count = result.count;
+      best = std::move(result);
+    } else {
+      // The pivot of g cannot be shared by more than best_count graphs
+      // (of the sample, when sampling).
+      upper_bounds_[g] = best_count;
+    }
+  }
+  if (best.found) {
+    peek_ = ReplacementGroup{std::move(best.path), std::move(best.members)};
+  }
+}
+
+const std::optional<ReplacementGroup>& IncrementalEngine::Peek() {
+  FillPeek();
+  return peek_;
+}
+
+void IncrementalEngine::ConsumePeeked() {
+  USTL_CHECK(peeked_);
+  if (peek_.has_value()) {
+    for (GraphId member : peek_->members) set_.Kill(member);
+    // Removals invalidate lower bounds (the counted containers may be
+    // gone); upper bounds only ever over-estimate and stay valid.
+    std::fill(lower_bounds_.begin(), lower_bounds_.end(), 1);
+  }
+  peeked_ = false;
+  peek_.reset();
+}
+
+std::optional<ReplacementGroup> IncrementalEngine::Next() {
+  FillPeek();
+  std::optional<ReplacementGroup> out = peek_;
+  ConsumePeeked();
+  return out;
+}
+
+int IncrementalEngine::UpperHint() const {
+  if (peeked_) {
+    return peek_.has_value() ? static_cast<int>(peek_->members.size()) : 0;
+  }
+  int alive = 0;
+  int max_ub = 0;
+  for (GraphId g = 0; g < set_.size(); ++g) {
+    if (!set_.alive(g)) continue;
+    ++alive;
+    max_ub = std::max(max_ub, upper_bounds_[g]);
+  }
+  return std::min(max_ub, alive);
+}
+
+}  // namespace ustl

@@ -1,0 +1,110 @@
+// Incremental (top-k) grouping over one GraphSet (Algorithms 5-7). Each
+// Next()/Peek() produces the largest remaining group without partitioning
+// everything upfront: graphs carry lower bounds Glo (count of a known
+// transformation path through them) and upper bounds Gup (Lemma 6.2, from
+// inverted-list lengths of covering edges); graphs are visited in
+// descending upper-bound order and the scan stops as soon as no unvisited
+// graph can beat the best group found.
+//
+// Deviation from the paper (see DESIGN.md): Algorithm 7 initializes the
+// pruning threshold to tau (the largest lower bound), which misses a
+// largest group of size exactly tau; we use tau - 1.
+#ifndef USTL_GROUPING_INCREMENTAL_H_
+#define USTL_GROUPING_INCREMENTAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "grouping/graph_set.h"
+#include "grouping/pivot_search.h"
+
+namespace ustl {
+
+struct IncrementalOptions {
+  int max_path_len = 6;
+  /// Safety valve (Section 8.2 suggests bounding the search when grouping
+  /// is too slow): each pivot search stops after this many DFS expansions
+  /// and keeps the best path found so far. When a search truncates, the
+  /// engine's results may no longer be the exact global maximum; the
+  /// groups returned are still valid (every member shares the pivot).
+  uint64_t max_expansions_per_search = std::numeric_limits<uint64_t>::max();
+  /// Total DFS expansion budget for the whole engine lifetime. Once
+  /// exhausted, Peek() stops scanning (keeping whatever best group it
+  /// already found) and later calls drain to nullopt quickly. Groups
+  /// returned after exhaustion are valid but not necessarily largest.
+  uint64_t max_total_expansions = std::numeric_limits<uint64_t>::max();
+  /// Appendix-E sampling: when more than this many graphs are alive, pivot
+  /// counts are taken over a seeded sample of this size (plus the searched
+  /// graph), and the winning path's group is re-resolved over the full
+  /// set. 0 disables sampling (exact counting). With sampling on, groups
+  /// are valid and complete but "largest first" holds only relative to
+  /// the sample.
+  size_t sample_size = 0;
+  uint64_t sample_seed = 0x5eed;
+};
+
+struct IncrementalStats {
+  uint64_t expansions = 0;
+  uint64_t searches = 0;
+  /// True once the engine gave up exactness: some search truncated or the
+  /// total expansion budget ran out.
+  bool truncated = false;
+};
+
+/// Owns its GraphSet; groups are consumed (members killed) as they are
+/// taken.
+class IncrementalEngine {
+ public:
+  IncrementalEngine(GraphSet set, IncrementalOptions options);
+
+  // Non-copyable and non-movable: the searcher holds a pointer into the
+  // owned GraphSet. Hold engines behind unique_ptr.
+  IncrementalEngine(const IncrementalEngine&) = delete;
+  IncrementalEngine& operator=(const IncrementalEngine&) = delete;
+
+  /// Computes (if needed) and returns the next largest group without
+  /// consuming it; nullopt when no alive graphs remain.
+  const std::optional<ReplacementGroup>& Peek();
+
+  /// Consumes the peeked group: kills its members and resets the stale
+  /// lower bounds (removals invalidate Glo, not Gup).
+  void ConsumePeeked();
+
+  /// Peek + ConsumePeeked in one step (Algorithm 5's per-iteration call).
+  std::optional<ReplacementGroup> Next();
+
+  /// True when a Peek() result is cached and not yet consumed.
+  bool HasPeeked() const { return peeked_; }
+
+  /// Upper bound on the size of the next group: max alive Gup, capped by
+  /// the alive count. Exact (== peeked size) once peeked.
+  int UpperHint() const;
+
+  size_t AliveCount() const { return set_.AliveCount(); }
+  const GraphSet& set() const { return set_; }
+  const IncrementalStats& stats() const { return stats_; }
+
+ private:
+  void InitUpperBounds();
+  void FillPeek();
+  /// Rebuilds the sampling mask from the first sample_size alive graphs of
+  /// the fixed seeded permutation; returns false when sampling is off or
+  /// unnecessary (alive count within sample_size).
+  bool RefreshSampleMask();
+
+  GraphSet set_;
+  IncrementalOptions options_;
+  PivotSearcher searcher_;
+  std::vector<int> lower_bounds_;  // Glo per graph
+  std::vector<int> upper_bounds_;  // Gup per graph
+  std::vector<GraphId> sample_order_;  // fixed seeded permutation
+  std::vector<char> sample_mask_;
+  bool peeked_ = false;
+  std::optional<ReplacementGroup> peek_;
+  IncrementalStats stats_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_GROUPING_INCREMENTAL_H_

@@ -1,0 +1,51 @@
+#include "grouping/oneshot.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ustl {
+
+std::vector<ReplacementGroup> UnsupervisedGrouping(
+    const GraphSet& set, const OneShotOptions& options, OneShotStats* stats) {
+  PivotSearcher::Options searcher_options;
+  searcher_options.local_early_term = options.early_termination;
+  searcher_options.global_early_term = options.early_termination;
+  searcher_options.max_path_len = options.max_path_len;
+  searcher_options.max_expansions = options.max_expansions;
+  PivotSearcher searcher(&set, searcher_options);
+
+  std::vector<int> lower_bounds(set.size(), 1);  // Algorithm 4 line 2
+
+  std::map<LabelPath, ReplacementGroup> by_pivot;
+  for (GraphId g = 0; g < set.size(); ++g) {
+    if (!set.alive(g)) continue;
+    PivotSearcher::SearchResult result = searcher.Search(
+        g, /*threshold=*/0,
+        options.early_termination ? &lower_bounds : nullptr);
+    if (stats != nullptr) {
+      stats->expansions += result.expansions;
+      stats->truncated = stats->truncated || result.truncated;
+    }
+    // Every graph contains at least its full-width ConstantStr path, so a
+    // pivot is always found at threshold 0 (unless truncated mid-search,
+    // in which case the best found so far still serves).
+    USTL_CHECK(result.found);
+    ReplacementGroup& group = by_pivot[result.path];
+    group.pivot = result.path;
+    group.members.push_back(g);
+  }
+
+  std::vector<ReplacementGroup> groups;
+  groups.reserve(by_pivot.size());
+  for (auto& [path, group] : by_pivot) groups.push_back(std::move(group));
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const ReplacementGroup& a, const ReplacementGroup& b) {
+                     if (a.members.size() != b.members.size()) {
+                       return a.members.size() > b.members.size();
+                     }
+                     return a.pivot < b.pivot;
+                   });
+  return groups;
+}
+
+}  // namespace ustl

@@ -1,0 +1,84 @@
+#include "grouping/optimal.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace ustl {
+
+Result<size_t> OptimalPartitionSize(const GraphSet& set,
+                                    const OptimalPartitionOptions& options) {
+  std::vector<GraphId> alive;
+  for (GraphId g = 0; g < set.size(); ++g) {
+    if (set.alive(g)) alive.push_back(g);
+  }
+  const size_t n = alive.size();
+  if (n == 0) return size_t{0};
+  if (n > options.max_graphs) {
+    return Status::ResourceExhausted("too many graphs for the exact solver");
+  }
+
+  // path -> bitmask of alive graphs containing it.
+  std::map<LabelPath, uint32_t> containers;
+  for (size_t idx = 0; idx < n; ++idx) {
+    const TransformationGraph& graph = set.graph(alive[idx]);
+    std::vector<LabelPath> paths =
+        graph.EnumeratePaths(options.max_paths_per_graph + 1);
+    if (paths.size() > options.max_paths_per_graph) {
+      return Status::ResourceExhausted("too many paths for the exact solver");
+    }
+    for (LabelPath& path : paths) {
+      containers[std::move(path)] |= (1u << idx);
+    }
+  }
+
+  // Deduplicate masks and drop dominated ones (subsets of other masks).
+  std::vector<uint32_t> masks;
+  masks.reserve(containers.size());
+  for (const auto& [path, mask] : containers) masks.push_back(mask);
+  std::sort(masks.begin(), masks.end());
+  masks.erase(std::unique(masks.begin(), masks.end()), masks.end());
+  std::vector<uint32_t> useful;
+  for (uint32_t m : masks) {
+    bool dominated = false;
+    for (uint32_t other : masks) {
+      if (other != m && (m & other) == m) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) useful.push_back(m);
+  }
+
+  // Subset DP for minimum cover: dp[u] = min sets to cover subset u.
+  const uint32_t full = n == 32 ? 0xffffffffu : ((1u << n) - 1);
+  const size_t kInf = n + 1;
+  std::vector<size_t> dp(static_cast<size_t>(full) + 1, kInf);
+  dp[0] = 0;
+  for (uint32_t u = 0; u <= full; ++u) {
+    if (dp[u] == kInf) continue;
+    if (u == full) break;
+    // Cover the lowest uncovered graph with every set that contains it.
+    int bit = -1;
+    for (size_t b = 0; b < n; ++b) {
+      if (!(u & (1u << b))) {
+        bit = static_cast<int>(b);
+        break;
+      }
+    }
+    USTL_CHECK(bit >= 0);
+    for (uint32_t mask : useful) {
+      if (!(mask & (1u << bit))) continue;
+      uint32_t next = u | mask;
+      if (dp[next] > dp[u] + 1) dp[next] = dp[u] + 1;
+    }
+  }
+  if (dp[full] == kInf) {
+    // Every graph contains at least its own full-constant path, so this
+    // can only happen when a graph had zero enumerable paths.
+    return Status::Internal("uncoverable graph (no transformation paths)");
+  }
+  return dp[full];
+}
+
+}  // namespace ustl

@@ -1,0 +1,32 @@
+// Exact optimal partition (Definition 3) for small inputs. The paper
+// proves the problem NP-complete by reduction from set cover; this solver
+// runs the reduction forward: enumerate every transformation path of every
+// graph, view each distinct path as the set of graphs containing it, and
+// find a minimum cover by subset dynamic programming. A minimum cover
+// induces a minimum partition (assign each graph to one covering path), so
+// the optimum sizes coincide. Exponential; use in tests and ablations only.
+#ifndef USTL_GROUPING_OPTIMAL_H_
+#define USTL_GROUPING_OPTIMAL_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "grouping/graph_set.h"
+
+namespace ustl {
+
+struct OptimalPartitionOptions {
+  /// Give up when a graph has more root-to-sink paths than this.
+  size_t max_paths_per_graph = 20000;
+  /// Give up beyond this many graphs (the subset DP is O(2^n * n)).
+  size_t max_graphs = 20;
+};
+
+/// The minimum number of groups over the alive graphs of `set`, or an
+/// error if the instance exceeds the limits.
+Result<size_t> OptimalPartitionSize(const GraphSet& set,
+                                    const OptimalPartitionOptions& options);
+
+}  // namespace ustl
+
+#endif  // USTL_GROUPING_OPTIMAL_H_

@@ -1,0 +1,218 @@
+#include "grouping/pivot_search.h"
+
+#include <algorithm>
+
+namespace ustl {
+
+struct PivotSearcher::DfsState {
+  LabelPath current;
+  LabelPath best_path;
+  std::vector<GraphId> best_members;
+  int best_count = 0;  // starts at the acceptance threshold
+  uint64_t expansions = 0;
+  bool truncated = false;
+};
+
+namespace {
+
+// Distinct alive graphs whose posting spans a full transformation path
+// (start == 1 by construction, end == that graph's last node).
+void CompleteMembers(const GraphSet& set, const PostingList& list,
+                     std::vector<GraphId>* members) {
+  members->clear();
+  for (const Posting& p : list) {
+    if (!set.alive(p.graph)) continue;
+    if (p.end != set.graph(p.graph).last_node()) continue;
+    if (!members->empty() && members->back() == p.graph) continue;
+    members->push_back(p.graph);
+  }
+}
+
+}  // namespace
+
+void PivotSearcher::Dfs(GraphId g, int node, const PostingList& list,
+                        DfsState* state, std::vector<int>* lower_bounds,
+                        uint64_t max_expansions) const {
+  if (state->truncated) return;
+  if (++state->expansions > max_expansions) {
+    state->truncated = true;
+    return;
+  }
+  const TransformationGraph& graph = set_->graph(g);
+  if (node == graph.last_node()) {
+    // rho is a transformation path of g (Algorithm 3 lines 2-5).
+    std::vector<GraphId> members;
+    CompleteMembers(*set_, list, &members);
+    const int count = static_cast<int>(members.size());
+    if (lower_bounds != nullptr && options_.global_early_term) {
+      // Algorithm 4: raise Glo of every graph that contains this
+      // transformation path.
+      for (GraphId member : members) {
+        int& lb = (*lower_bounds)[member];
+        if (lb < count) lb = count;
+      }
+    }
+    if (count > state->best_count) {
+      state->best_count = count;
+      state->best_path = state->current;
+      state->best_members = std::move(members);
+    }
+    return;
+  }
+  if (static_cast<int>(state->current.size()) >= options_.max_path_len) {
+    return;
+  }
+
+  // Gather outgoing (label, edge, |I[label]|) moves. A label can sit on at
+  // most one outgoing edge of a node (labels determine their output string,
+  // and sibling edges have different target substrings). Moves are visited
+  // in descending posting-list length (ties by ascending LabelId): big
+  // lists raise best_count early, which makes the early terminations bite.
+  // The order is a global total order on labels (list lengths are shared
+  // run-wide), so the first-found maximum is still canonical across all
+  // grouping variants.
+  struct Move {
+    size_t list_length;
+    bool constant;
+    LabelId label;
+    int to;
+  };
+  std::vector<Move> moves;
+  for (const GraphEdge& edge : graph.edges_from(node)) {
+    for (LabelId label : edge.labels) {
+      const bool constant =
+          set_->interner() != nullptr &&
+          set_->interner()->Get(label).kind() ==
+              StringFn::Kind::kConstantStr;
+      moves.push_back(
+          Move{set_->index().ListLength(label), constant, label, edge.to});
+    }
+  }
+  // Ties between equally long lists break toward non-constant labels:
+  // for singleton structure groups every path has count 1 and the
+  // first-found path wins, so this bias is what keeps their pivots from
+  // degenerating into pure "emit this literal" programs (which the
+  // framework rightly filters out). The key is still a run-wide total
+  // order on labels, so the canonical choice stays consistent across all
+  // grouping variants.
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    if (a.list_length != b.list_length) return a.list_length > b.list_length;
+    if (a.constant != b.constant) return !a.constant;
+    return a.label < b.label;
+  });
+
+  const size_t current_distinct = InvertedIndex::DistinctGraphs(list);
+  // Sibling deduplication: labels on the same edge frequently extend to
+  // identical posting lists (all P[x] x P[y] SubStr variants of one
+  // occurrence, for instance). Exploring each would multiply the subtree
+  // by the label multiplicity; one representative (the first in the global
+  // move order) suffices for finding a maximal path, and taking the first
+  // keeps the choice canonical across grouping variants.
+  std::vector<std::pair<uint64_t, PostingList>> seen;
+  auto list_hash = [](int to, const PostingList& l) {
+    uint64_t h = 1469598103934665603ull ^ static_cast<uint64_t>(to);
+    for (const Posting& p : l) {
+      h ^= (static_cast<uint64_t>(p.graph) << 32) ^
+           (static_cast<uint64_t>(p.start) << 16) ^
+           static_cast<uint64_t>(p.end);
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+
+  for (const Move& move : moves) {
+    // Cheap pre-check before the join: the extension's distinct-graph
+    // count is at most min(|list| distinct, |I[label]|) — intersections
+    // never grow (Section 5.2).
+    const size_t upper = std::min(move.list_length, current_distinct);
+    if (options_.local_early_term &&
+        static_cast<int>(upper) <= state->best_count) {
+      continue;
+    }
+    if (options_.global_early_term && lower_bounds != nullptr &&
+        static_cast<int>(upper) < (*lower_bounds)[g]) {
+      continue;
+    }
+    PostingList extended =
+        InvertedIndex::Extend(list, set_->index().Find(move.label),
+                              &set_->alive_vector());
+    if (extended.empty()) continue;
+    const size_t distinct = InvertedIndex::DistinctGraphs(extended);
+    if (options_.local_early_term &&
+        static_cast<int>(distinct) <= state->best_count) {
+      continue;  // cannot strictly beat the best found so far
+    }
+    if (options_.global_early_term && lower_bounds != nullptr &&
+        static_cast<int>(distinct) < (*lower_bounds)[g]) {
+      continue;  // cannot reach g's known lower bound
+    }
+    uint64_t h = list_hash(move.to, extended);
+    bool duplicate = false;
+    for (const auto& [seen_hash, seen_list] : seen) {
+      if (seen_hash == h && seen_list == extended) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.emplace_back(h, extended);
+    state->current.push_back(move.label);
+    Dfs(g, move.to, extended, state, lower_bounds, max_expansions);
+    state->current.pop_back();
+    if (state->truncated) return;
+  }
+}
+
+PivotSearcher::SearchResult PivotSearcher::Search(
+    GraphId g, int threshold, std::vector<int>* lower_bounds,
+    uint64_t expansion_budget, const std::vector<char>* count_mask) const {
+  USTL_CHECK(g < set_->size());
+  DfsState state;
+  state.best_count = threshold;
+  const uint64_t max_expansions =
+      std::min(options_.max_expansions, expansion_budget);
+
+  // The empty path matches every alive graph at the root (Algorithm 2
+  // line 5 / Algorithm 7 line 8 initialize ell with all graphs). With a
+  // count mask (Appendix-E sampling) only the sampled graphs enter, so
+  // every downstream intersection works on short lists.
+  PostingList root;
+  root.reserve(set_->size());
+  for (GraphId other = 0; other < set_->size(); ++other) {
+    if (!set_->alive(other)) continue;
+    if (count_mask != nullptr && (*count_mask)[other] == 0) continue;
+    root.push_back(Posting{other, 1, 1});
+  }
+
+  // Global lower bounds are exact-count state; with sampled counting the
+  // units would not match, so bounds are neither read nor written.
+  Dfs(g, 1, root, &state,
+      count_mask == nullptr ? lower_bounds : nullptr, max_expansions);
+
+  SearchResult result;
+  result.expansions = state.expansions;
+  result.truncated = state.truncated;
+  if (!state.best_path.empty()) {
+    result.found = true;
+    result.path = std::move(state.best_path);
+    result.members = std::move(state.best_members);
+    result.count = state.best_count;
+    if (count_mask != nullptr) {
+      // Rehydrate: resolve the winning path's members over all alive
+      // graphs so the returned group is complete.
+      PostingList full;
+      full.reserve(set_->size());
+      for (GraphId other = 0; other < set_->size(); ++other) {
+        if (set_->alive(other)) full.push_back(Posting{other, 1, 1});
+      }
+      for (LabelId label : result.path) {
+        full = InvertedIndex::Extend(full, set_->index().Find(label),
+                                     &set_->alive_vector());
+      }
+      CompleteMembers(*set_, full, &result.members);
+    }
+  }
+  return result;
+}
+
+}  // namespace ustl

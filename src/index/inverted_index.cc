@@ -1,0 +1,137 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ustl {
+
+const PostingList InvertedIndex::kEmpty;
+
+InvertedIndex InvertedIndex::Build(
+    const std::vector<TransformationGraph>& graphs) {
+  InvertedIndex index;
+  for (GraphId g = 0; g < graphs.size(); ++g) {
+    const TransformationGraph& graph = graphs[g];
+    for (int from = 1; from <= graph.num_nodes(); ++from) {
+      for (const GraphEdge& edge : graph.edges_from(from)) {
+        for (LabelId label : edge.labels) {
+          if (label >= index.lists_.size()) index.lists_.resize(label + 1);
+          index.lists_[label].push_back(Posting{g, from, edge.to});
+        }
+      }
+    }
+  }
+  // Iteration order above is (graph asc, from asc, to asc), which is the
+  // posting order; no per-list sort needed. Assert in debug builds.
+  for (const PostingList& list : index.lists_) {
+    USTL_CHECK(std::is_sorted(list.begin(), list.end()));
+  }
+  return index;
+}
+
+const PostingList& InvertedIndex::Find(LabelId label) const {
+  if (label >= lists_.size()) return kEmpty;
+  return lists_[label];
+}
+
+size_t InvertedIndex::ListLength(LabelId label) const {
+  return Find(label).size();
+}
+
+size_t InvertedIndex::NumLabels() const {
+  size_t count = 0;
+  for (const PostingList& list : lists_) {
+    if (!list.empty()) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+// First index >= i whose posting's graph id is >= g (galloping: doubling
+// probe then binary search). Keeps the merge join linear on balanced
+// inputs and logarithmic when one list is much shorter than the other —
+// the common shape once sampling or deep paths shrink the current list.
+size_t GallopTo(const PostingList& list, size_t i, GraphId g) {
+  if (i >= list.size() || list[i].graph >= g) return i;
+  size_t lo = i;  // invariant: list[lo].graph < g
+  size_t step = 1;
+  size_t hi = i + step;
+  while (hi < list.size() && list[hi].graph < g) {
+    lo = hi;
+    step <<= 1;
+    hi = lo + step;
+  }
+  if (hi > list.size()) hi = list.size();
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (list[mid].graph < g) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+PostingList InvertedIndex::Extend(const PostingList& current,
+                                  const PostingList& label_list,
+                                  const std::vector<char>* alive) {
+  PostingList out;
+  // Merge join on graph id; within one graph, pair (a, b) x (b, c).
+  size_t i = 0, j = 0;
+  while (i < current.size() && j < label_list.size()) {
+    GraphId gi = current[i].graph;
+    GraphId gj = label_list[j].graph;
+    if (gi < gj) {
+      i = GallopTo(current, i, gj);
+      continue;
+    }
+    if (gj < gi) {
+      j = GallopTo(label_list, j, gi);
+      continue;
+    }
+    if (alive != nullptr && !(*alive)[gi]) {
+      while (i < current.size() && current[i].graph == gi) ++i;
+      while (j < label_list.size() && label_list[j].graph == gi) ++j;
+      continue;
+    }
+    size_t i_end = i;
+    while (i_end < current.size() && current[i_end].graph == gi) ++i_end;
+    size_t j_end = j;
+    while (j_end < label_list.size() && label_list[j_end].graph == gi) ++j_end;
+    // Both runs are small in practice; a nested loop keeps this simple and
+    // cache-friendly.
+    for (size_t a = i; a < i_end; ++a) {
+      for (size_t b = j; b < j_end; ++b) {
+        if (current[a].end == label_list[b].start) {
+          out.push_back(Posting{gi, current[a].start, label_list[b].end});
+        }
+      }
+    }
+    i = i_end;
+    j = j_end;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t InvertedIndex::DistinctGraphs(const PostingList& list) {
+  size_t count = 0;
+  GraphId prev = 0;
+  bool first = true;
+  for (const Posting& p : list) {
+    if (first || p.graph != prev) {
+      ++count;
+      prev = p.graph;
+      first = false;
+    }
+  }
+  return count;
+}
+
+}  // namespace ustl

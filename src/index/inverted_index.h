@@ -1,0 +1,71 @@
+// Inverted index over edge labels (Section 5.1). The posting list of a
+// string function f holds every triple (graph, i, j) such that the edge
+// e(i,j) of that graph carries label f. Intersecting lists joins adjacent
+// edges: (G, a, b) from the current path list combines with (G, b, c) from
+// the label list to give (G, a, c), so the intersection of the lists of
+// f1 .. fk is exactly the set of spans where the path f1 (+) ... (+) fk
+// matches.
+#ifndef USTL_INDEX_INVERTED_INDEX_H_
+#define USTL_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/transformation_graph.h"
+
+namespace ustl {
+
+/// One occurrence of a path: it spans nodes [start, end] of `graph`.
+struct Posting {
+  GraphId graph = 0;
+  int start = 0;
+  int end = 0;
+
+  bool operator==(const Posting& o) const {
+    return graph == o.graph && start == o.start && end == o.end;
+  }
+  bool operator<(const Posting& o) const {
+    if (graph != o.graph) return graph < o.graph;
+    if (start != o.start) return start < o.start;
+    return end < o.end;
+  }
+};
+
+/// Sorted by (graph, start, end), unique.
+using PostingList = std::vector<Posting>;
+
+/// Immutable label -> posting-list map over a set of graphs.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes every (edge, label) pair of every graph. Graph ids are the
+  /// positions in `graphs`.
+  static InvertedIndex Build(const std::vector<TransformationGraph>& graphs);
+
+  /// The posting list for `label`; empty if the label never occurs.
+  const PostingList& Find(LabelId label) const;
+
+  /// |I[label]|, used for the upper bounds of Section 6.2.
+  size_t ListLength(LabelId label) const;
+
+  /// Number of labels with non-empty lists.
+  size_t NumLabels() const;
+
+  /// Adjacency join described above. `alive` (indexed by GraphId) filters
+  /// dead graphs out of the result; pass nullptr to keep everything.
+  static PostingList Extend(const PostingList& current,
+                            const PostingList& label_list,
+                            const std::vector<char>* alive);
+
+  /// Number of distinct graphs appearing in a sorted posting list.
+  static size_t DistinctGraphs(const PostingList& list);
+
+ private:
+  static const PostingList kEmpty;
+  std::vector<PostingList> lists_;  // indexed by LabelId
+};
+
+}  // namespace ustl
+
+#endif  // USTL_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,45 @@
+// Candidate replacements and their provenance (Section 3 step 1 and
+// Section 7.1). A column is processed as clusters of cell values; an
+// Occurrence records one place a replacement was generated from, so that
+// approved replacements can be backtracked and applied.
+#ifndef USTL_REPLACE_REPLACEMENT_H_
+#define USTL_REPLACE_REPLACEMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "grouping/group.h"
+
+namespace ustl {
+
+/// One column of clustered records: column[c][r] is the value of row r in
+/// cluster c. This is the unit the framework standardizes (Algorithm 1
+/// processes one column at a time).
+using Column = std::vector<std::vector<std::string>>;
+
+/// Where a replacement lhs -> rhs applies: cell (cluster, row), at the
+/// 1-based character offset `begin` with length |lhs|. Whole-value
+/// occurrences have begin == 1 and length == cell size; token-level
+/// occurrences (Appendix A) point into the cell.
+struct Occurrence {
+  size_t cluster = 0;
+  size_t row = 0;
+  int begin = 1;          // 1-based offset of lhs within the cell
+  bool whole_value = true;
+
+  bool operator==(const Occurrence& o) const {
+    return cluster == o.cluster && row == o.row && begin == o.begin &&
+           whole_value == o.whole_value;
+  }
+  bool operator<(const Occurrence& o) const {
+    if (cluster != o.cluster) return cluster < o.cluster;
+    if (row != o.row) return row < o.row;
+    if (begin != o.begin) return begin < o.begin;
+    return whole_value < o.whole_value;
+  }
+};
+
+}  // namespace ustl
+
+#endif  // USTL_REPLACE_REPLACEMENT_H_

@@ -1,0 +1,221 @@
+#include "text/alignment.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "text/char_class.h"
+
+namespace ustl {
+namespace {
+
+struct SpannedToken {
+  std::string_view text;
+  int begin;  // 1-based
+  int end;    // 1-based exclusive
+};
+
+std::vector<SpannedToken> SpannedWhitespaceTokens(std::string_view s) {
+  std::vector<SpannedToken> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && ClassOf(s[i]) == CharClass::kSpace) ++i;
+    size_t j = i;
+    while (j < s.size() && ClassOf(s[j]) != CharClass::kSpace) ++j;
+    if (j > i) {
+      out.push_back(SpannedToken{s.substr(i, j - i), static_cast<int>(i) + 1,
+                                 static_cast<int>(j) + 1});
+    }
+    i = j;
+  }
+  return out;
+}
+
+// Emits the aligned gap [li, lj) x [ri, rj) (token indices) as a segment if
+// both sides are non-empty.
+void EmitGap(std::string_view lhs, std::string_view rhs,
+             const std::vector<SpannedToken>& lt,
+             const std::vector<SpannedToken>& rt, size_t li, size_t lj,
+             size_t ri, size_t rj, std::vector<AlignedSegment>* out) {
+  if (li >= lj || ri >= rj) return;
+  int lb = lt[li].begin;
+  int le = lt[lj - 1].end;
+  int rb = rt[ri].begin;
+  int re = rt[rj - 1].end;
+  AlignedSegment seg;
+  seg.lhs = std::string(lhs.substr(lb - 1, le - lb));
+  seg.rhs = std::string(rhs.substr(rb - 1, re - rb));
+  seg.lhs_begin = lb;
+  seg.rhs_begin = rb;
+  if (seg.lhs != seg.rhs) out->push_back(std::move(seg));
+}
+
+}  // namespace
+
+int TokenLcsLength(std::string_view lhs, std::string_view rhs) {
+  auto lt = SpannedWhitespaceTokens(lhs);
+  auto rt = SpannedWhitespaceTokens(rhs);
+  size_t n = lt.size(), m = rt.size();
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (lt[i - 1].text == rt[j - 1].text) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  return dp[n][m];
+}
+
+std::vector<AlignedSegment> TokenLcsAlign(std::string_view lhs,
+                                          std::string_view rhs) {
+  auto lt = SpannedWhitespaceTokens(lhs);
+  auto rt = SpannedWhitespaceTokens(rhs);
+  size_t n = lt.size(), m = rt.size();
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (lt[i - 1].text == rt[j - 1].text) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  // Backtrack to recover the matched token pairs in order.
+  std::vector<std::pair<size_t, size_t>> matches;
+  size_t i = n, j = m;
+  while (i > 0 && j > 0) {
+    if (lt[i - 1].text == rt[j - 1].text &&
+        dp[i][j] == dp[i - 1][j - 1] + 1) {
+      matches.emplace_back(i - 1, j - 1);
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(matches.begin(), matches.end());
+
+  std::vector<AlignedSegment> out;
+  size_t li = 0, ri = 0;
+  for (auto [mi, mj] : matches) {
+    EmitGap(lhs, rhs, lt, rt, li, mi, ri, mj, &out);
+    li = mi + 1;
+    ri = mj + 1;
+  }
+  EmitGap(lhs, rhs, lt, rt, li, n, ri, m, &out);
+  return out;
+}
+
+int DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  // Optimal string alignment variant: adjacent transpositions cost 1 and a
+  // transposed pair is not edited again.
+  size_t n = a.size(), m = b.size();
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 0; i <= n; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= m; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[n][m];
+}
+
+std::vector<AlignedSegment> DamerauLevenshteinAlign(std::string_view lhs,
+                                                    std::string_view rhs) {
+  size_t n = lhs.size(), m = rhs.size();
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = 0; i <= n; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= m; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = lhs[i - 1] == rhs[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && lhs[i - 1] == rhs[j - 2] &&
+          lhs[i - 2] == rhs[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  // Backtrack, marking which (i, j) cells are on a "match" step; maximal
+  // non-match stretches on either side become aligned segments.
+  struct Step {
+    size_t i, j;
+    bool match;
+  };
+  std::vector<Step> steps;
+  size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    if (i > 1 && j > 1 && lhs[i - 1] == rhs[j - 2] &&
+        lhs[i - 2] == rhs[j - 1] && d[i][j] == d[i - 2][j - 2] + 1) {
+      steps.push_back(Step{i, j, false});
+      steps.push_back(Step{i - 1, j - 1, false});
+      i -= 2;
+      j -= 2;
+    } else if (i > 0 && j > 0 &&
+               d[i][j] == d[i - 1][j - 1] + (lhs[i - 1] == rhs[j - 1] ? 0 : 1)) {
+      steps.push_back(Step{i, j, lhs[i - 1] == rhs[j - 1]});
+      --i;
+      --j;
+    } else if (i > 0 && d[i][j] == d[i - 1][j] + 1) {
+      steps.push_back(Step{i, 0, false});
+      --i;
+    } else {
+      USTL_CHECK(j > 0);
+      steps.push_back(Step{0, j, false});
+      --j;
+    }
+  }
+  std::reverse(steps.begin(), steps.end());
+
+  std::vector<AlignedSegment> out;
+  // Sweep steps, accumulating spans of non-match operations.
+  size_t lhs_lo = 0, lhs_hi = 0, rhs_lo = 0, rhs_hi = 0;  // 0-based [lo, hi)
+  bool open = false;
+  size_t li = 0, rj = 0;  // consumed prefix lengths
+  auto flush = [&]() {
+    if (!open) return;
+    open = false;
+    std::string l(lhs.substr(lhs_lo, lhs_hi - lhs_lo));
+    std::string r(rhs.substr(rhs_lo, rhs_hi - rhs_lo));
+    if (!l.empty() && !r.empty() && l != r) {
+      out.push_back(AlignedSegment{std::move(l), std::move(r),
+                                   static_cast<int>(lhs_lo) + 1,
+                                   static_cast<int>(rhs_lo) + 1});
+    }
+  };
+  for (const Step& st : steps) {
+    size_t consumed_l = st.i > 0 ? 1 : 0;
+    size_t consumed_r = st.j > 0 ? 1 : 0;
+    if (st.match) {
+      flush();
+    } else {
+      if (!open) {
+        open = true;
+        lhs_lo = li;
+        lhs_hi = li;
+        rhs_lo = rj;
+        rhs_hi = rj;
+      }
+      lhs_hi = li + consumed_l;
+      rhs_hi = rj + consumed_r;
+    }
+    li += consumed_l;
+    rj += consumed_r;
+  }
+  flush();
+  return out;
+}
+
+}  // namespace ustl

@@ -1,0 +1,40 @@
+#include "text/char_class.h"
+
+#include "common/status.h"
+
+namespace ustl {
+
+char CharClassMnemonic(CharClass c) {
+  switch (c) {
+    case CharClass::kDigit:
+      return 'd';
+    case CharClass::kLower:
+      return 'l';
+    case CharClass::kUpper:
+      return 'u';
+    case CharClass::kSpace:
+      return 's';
+    case CharClass::kOther:
+      break;
+  }
+  USTL_CHECK(false && "kOther has no mnemonic");
+  return '?';
+}
+
+const char* CharClassTermName(CharClass c) {
+  switch (c) {
+    case CharClass::kDigit:
+      return "Td";
+    case CharClass::kLower:
+      return "Tl";
+    case CharClass::kUpper:
+      return "TC";
+    case CharClass::kSpace:
+      return "Tb";
+    case CharClass::kOther:
+      return "T?";
+  }
+  return "T?";
+}
+
+}  // namespace ustl

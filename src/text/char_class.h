@@ -1,0 +1,44 @@
+// Character classes underlying the paper's pre-defined regex terms
+// (Section 4.1 / Section 7.2): digits Td=[0-9]+, lowercase Tl=[a-z]+,
+// capitals TC=[A-Z]+, whitespace Tb=\s+, and single-character terms for
+// everything else. ASCII-only by design.
+#ifndef USTL_TEXT_CHAR_CLASS_H_
+#define USTL_TEXT_CHAR_CLASS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ustl {
+
+/// The five character categories of Section 7.2.
+enum class CharClass : uint8_t {
+  kDigit = 0,   // [0-9]
+  kLower = 1,   // [a-z]
+  kUpper = 2,   // [A-Z]
+  kSpace = 3,   // \s
+  kOther = 4,   // single-character terms (punctuation etc.)
+};
+
+/// Classifies one character.
+inline CharClass ClassOf(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (uc >= '0' && uc <= '9') return CharClass::kDigit;
+  if (uc >= 'a' && uc <= 'z') return CharClass::kLower;
+  if (uc >= 'A' && uc <= 'Z') return CharClass::kUpper;
+  if (uc == ' ' || uc == '\t' || uc == '\n' || uc == '\r' || uc == '\f' ||
+      uc == '\v') {
+    return CharClass::kSpace;
+  }
+  return CharClass::kOther;
+}
+
+/// One-letter mnemonic used in structure signatures: d, l, u, s.
+/// kOther has no mnemonic (the literal character is used instead).
+char CharClassMnemonic(CharClass c);
+
+/// Human-readable name used in debug output: "Td", "Tl", "TC", "Tb".
+const char* CharClassTermName(CharClass c);
+
+}  // namespace ustl
+
+#endif  // USTL_TEXT_CHAR_CLASS_H_

@@ -1,0 +1,36 @@
+#include "text/structure.h"
+
+#include "text/char_class.h"
+
+namespace ustl {
+
+std::string StructureOf(std::string_view s) {
+  std::string out;
+  size_t i = 0;
+  while (i < s.size()) {
+    CharClass c = ClassOf(s[i]);
+    if (c == CharClass::kOther) {
+      out.push_back(s[i]);
+      ++i;
+    } else {
+      out.push_back(CharClassMnemonic(c));
+      while (i < s.size() && ClassOf(s[i]) == c) ++i;
+    }
+  }
+  return out;
+}
+
+std::string ReplacementStructure(std::string_view lhs, std::string_view rhs) {
+  std::string out = StructureOf(lhs);
+  out += "=>";
+  out += StructureOf(rhs);
+  return out;
+}
+
+bool StructurallyEquivalent(std::string_view lhs1, std::string_view rhs1,
+                            std::string_view lhs2, std::string_view rhs2) {
+  return StructureOf(lhs1) == StructureOf(lhs2) &&
+         StructureOf(rhs1) == StructureOf(rhs2);
+}
+
+}  // namespace ustl

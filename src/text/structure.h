@@ -1,0 +1,33 @@
+// Structure signatures (Section 7.2). The structure Struc(s) of a string
+// maps it to a sequence of terms: one of the four regex-based character
+// classes for maximal class runs, or the literal character itself for
+// kOther characters. Two replacements are structurally equivalent iff both
+// sides have equal structures; the grouping algorithms first partition the
+// candidate replacements by structure and refine each structure group by
+// pivot path.
+#ifndef USTL_TEXT_STRUCTURE_H_
+#define USTL_TEXT_STRUCTURE_H_
+
+#include <string>
+#include <string_view>
+
+namespace ustl {
+
+/// The canonical structure signature of a string. The signature alphabet is
+/// {d, l, u, s} for digit/lower/upper/space runs plus the literal kOther
+/// characters themselves (which are never in [a-z0-9A-Z] or whitespace, so
+/// the encoding is unambiguous). Example: Struc("9th") == "dl",
+/// Struc("Lee, Mary") == "ul,su".
+std::string StructureOf(std::string_view s);
+
+/// Structure signature of a replacement lhs -> rhs, e.g. "d=>dl" for
+/// 9 -> 9th. Used as the partition key for structure groups.
+std::string ReplacementStructure(std::string_view lhs, std::string_view rhs);
+
+/// True iff the two replacements are structurally equivalent (Definition 4).
+bool StructurallyEquivalent(std::string_view lhs1, std::string_view rhs1,
+                            std::string_view lhs2, std::string_view rhs2);
+
+}  // namespace ustl
+
+#endif  // USTL_TEXT_STRUCTURE_H_

@@ -1,0 +1,62 @@
+#include "wrangler/rule.h"
+
+#include "common/string_util.h"
+
+namespace ustl {
+
+Result<WranglerScript> WranglerScript::Compile(
+    std::string name, std::vector<WranglerRule> rules) {
+  WranglerScript script;
+  script.name_ = std::move(name);
+  script.rules_ = std::move(rules);
+  script.compiled_.reserve(script.rules_.size());
+  for (const WranglerRule& rule : script.rules_) {
+    if (rule.kind != WranglerRule::Kind::kRegexReplace) {
+      script.compiled_.emplace_back();
+      continue;
+    }
+    auto flags = std::regex::ECMAScript | std::regex::optimize;
+    if (rule.icase) flags |= std::regex::icase;
+    // std::regex constructors throw; contain that here so the public API
+    // stays exception-free.
+    try {
+      script.compiled_.emplace_back(rule.pattern, flags);
+    } catch (const std::regex_error& e) {
+      return Status::InvalidArgument("bad regex '" + rule.pattern +
+                                     "': " + e.what());
+    }
+  }
+  return script;
+}
+
+std::string WranglerScript::Apply(const std::string& value) const {
+  std::string out = value;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const WranglerRule& rule = rules_[i];
+    switch (rule.kind) {
+      case WranglerRule::Kind::kRegexReplace:
+        out = std::regex_replace(out, compiled_[i], rule.replacement);
+        break;
+      case WranglerRule::Kind::kLowercase:
+        out = ToLower(out);
+        break;
+    }
+  }
+  return out;
+}
+
+size_t WranglerScript::ApplyToColumn(Column* column) const {
+  size_t changed = 0;
+  for (auto& cluster : *column) {
+    for (std::string& cell : cluster) {
+      std::string next = Apply(cell);
+      if (next != cell) {
+        cell = std::move(next);
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace ustl

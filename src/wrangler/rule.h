@@ -1,0 +1,67 @@
+// A Trifacta-like data-wrangling rule engine (the paper's baseline,
+// Section 8). A script is an ordered list of rules a skilled user wrote
+// after eyeballing the data; each regex rule rewrites every cell globally
+// with capture-group substitution, exactly like the two example rules
+// printed in Section 8:
+//
+//   REPLACE with: ''          on: '({any}+)'
+//   REPLACE with: '$2 $3. $1' on: '({alpha}+), ({alpha}+) ({alpha}.)'
+//
+// Global application is the baseline's characteristic failure mode: good
+// precision, partial recall, occasional collateral edits.
+#ifndef USTL_WRANGLER_RULE_H_
+#define USTL_WRANGLER_RULE_H_
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "replace/replacement.h"
+
+namespace ustl {
+
+/// One wrangling rule.
+struct WranglerRule {
+  enum class Kind {
+    kRegexReplace,  // regex_replace(cell, pattern, replacement)
+    kLowercase,     // ASCII-lowercase the whole cell
+  };
+
+  Kind kind = Kind::kRegexReplace;
+  std::string pattern;      // ECMAScript regex (kRegexReplace)
+  std::string replacement;  // may use $1..$9 (kRegexReplace)
+  bool icase = false;
+  std::string note;         // what the user meant, for reports
+};
+
+/// A compiled, named rule script.
+class WranglerScript {
+ public:
+  /// Compiles all rules; fails on an invalid regex.
+  static Result<WranglerScript> Compile(std::string name,
+                                        std::vector<WranglerRule> rules);
+
+  const std::string& name() const { return name_; }
+  size_t num_rules() const { return rules_.size(); }
+  const std::vector<WranglerRule>& rules() const { return rules_; }
+
+  /// Applies every rule, in order, to one value.
+  std::string Apply(const std::string& value) const;
+
+  /// Applies the script to every cell of the column in place. Returns the
+  /// number of cells changed.
+  size_t ApplyToColumn(Column* column) const;
+
+ private:
+  WranglerScript() = default;
+
+  std::string name_;
+  std::vector<WranglerRule> rules_;
+  std::vector<std::regex> compiled_;  // parallel to regex rules (empty
+                                      // regex for non-regex kinds)
+};
+
+}  // namespace ustl
+
+#endif  // USTL_WRANGLER_RULE_H_

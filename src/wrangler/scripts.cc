@@ -1,0 +1,113 @@
+#include "wrangler/scripts.h"
+
+namespace ustl {
+namespace {
+
+WranglerRule Re(std::string pattern, std::string replacement,
+                std::string note) {
+  WranglerRule rule;
+  rule.kind = WranglerRule::Kind::kRegexReplace;
+  rule.pattern = std::move(pattern);
+  rule.replacement = std::move(replacement);
+  rule.note = std::move(note);
+  return rule;
+}
+
+const WranglerScript* CompileOrDie(std::string name,
+                                   std::vector<WranglerRule> rules) {
+  Result<WranglerScript> script =
+      WranglerScript::Compile(std::move(name), std::move(rules));
+  USTL_CHECK(script.ok());
+  return new WranglerScript(std::move(script).value());
+}
+
+}  // namespace
+
+const WranglerScript& AddressWranglerScript() {
+  static const WranglerScript& script = *CompileOrDie(
+      "address-wrangle",
+      {
+          // Street suffixes the user noticed (the rarer ones are missed).
+          Re("\\bSt\\b", "Street", "St -> Street"),
+          Re("\\bAve\\b", "Avenue", "Ave -> Avenue"),
+          Re("\\bBlvd\\b", "Boulevard", "Blvd -> Boulevard"),
+          Re("\\bRd\\b", "Road", "Rd -> Road"),
+          Re("\\bDr\\b", "Drive", "Dr -> Drive"),
+          Re("\\bLn\\b", "Lane", "Ln -> Lane"),
+          // Ordinal suffixes: converge "9th"/"9" to the cardinal form.
+          Re("\\b(\\d+)(?:st|nd|rd|th)\\b", "$1", "strip ordinal suffix"),
+          // Compass directions.
+          Re("\\bE\\b", "East", "E -> East"),
+          Re("\\bW\\b", "West", "W -> West"),
+          Re("\\bN\\b", "North", "N -> North"),
+          Re("\\bS\\b", "South", "S -> South"),
+          // The states the user spotted in the sample they eyeballed.
+          Re("\\bWI\\b", "Wisconsin", "WI -> Wisconsin"),
+          Re("\\bCA\\b", "California", "CA -> California"),
+          Re("\\bTX\\b", "Texas", "TX -> Texas"),
+          Re("\\bOH\\b", "Ohio", "OH -> Ohio"),
+          Re("\\bFL\\b", "Florida", "FL -> Florida"),
+          Re("\\bGA\\b", "Georgia", "GA -> Georgia"),
+          Re("\\bOR\\b", "Oregon", "OR -> Oregon"),
+          Re("\\bAZ\\b", "Arizona", "AZ -> Arizona"),
+          Re("\\bCO\\b", "Colorado", "CO -> Colorado"),
+          Re("\\bVA\\b", "Virginia", "VA -> Virginia"),
+          Re("\\bWA\\b", "Washington", "WA -> Washington"),
+      });
+  return script;
+}
+
+const WranglerScript& AuthorListWranglerScript() {
+  static const WranglerScript& script = *CompileOrDie(
+      "authorlist-wrangle",
+      {
+          // Section 8's first example rule: drop parenthesized content.
+          Re("\\s*\\((?:edt|author|editor|eds)\\)", "",
+             "remove (edt)/(author) annotations"),
+          // Whole-cell "last, first" transposition, one and two authors
+          // (the paper's second example rule family).
+          Re("^([a-z]+), ([a-z]+\\.?)$", "$2 $1",
+             "transpose single 'last, first'"),
+          Re("^([a-z]+), ([a-z]+\\.?) ([a-z]+), ([a-z]+\\.?)$",
+             "$2 $1, $4 $3", "transpose two transposed authors"),
+          Re("^([a-z]+), ([a-z]+\\.?) ([a-z]+), ([a-z]+\\.?) ([a-z]+), "
+             "([a-z]+\\.?)$",
+             "$2 $1, $4 $3, $6 $5", "transpose three transposed authors"),
+          // A few nicknames the user recognized.
+          Re("\\bbob\\b", "robert", "bob -> robert"),
+          Re("\\bbill\\b", "william", "bill -> william"),
+          Re("\\bjim\\b", "james", "jim -> james"),
+          Re("\\bmike\\b", "michael", "mike -> michael"),
+          Re("\\btom\\b", "thomas", "tom -> thomas"),
+          Re("\\bdan\\b", "daniel", "dan -> daniel"),
+      });
+  return script;
+}
+
+const WranglerScript& JournalTitleWranglerScript() {
+  static const WranglerScript& script = *CompileOrDie(
+      "journaltitle-wrangle",
+      {
+          // Word abbreviations the user expanded (a partial list).
+          Re("\\bJ\\.", "Journal", "J. -> Journal"),
+          Re("\\bInt\\.", "International", "Int. -> International"),
+          Re("\\bRev\\.", "Review", "Rev. -> Review"),
+          Re("\\bProc\\.", "Proceedings", "Proc. -> Proceedings"),
+          Re("\\bTrans\\.", "Transactions", "Trans. -> Transactions"),
+          Re("\\bAm\\.", "American", "Am. -> American"),
+          Re("\\bEur\\.", "European", "Eur. -> European"),
+          Re("\\bAnn\\.", "Annals", "Ann. -> Annals"),
+          Re("\\bRes\\.", "Research", "Res. -> Research"),
+          Re("\\bSci\\.", "Science", "Sci. -> Science"),
+          Re("\\bLett\\.", "Letters", "Lett. -> Letters"),
+          // Ampersand and article normalization.
+          Re("\\s*&\\s*", " and ", "& -> and"),
+          Re("^[Tt]he\\s+", "", "drop leading article"),
+          // Note: the user did not address case variants ("journal of
+          // biology" records stay lowercased) — part of the baseline's
+          // recall ceiling, matching the paper's JournalTitle result.
+      });
+  return script;
+}
+
+}  // namespace ustl

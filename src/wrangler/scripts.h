@@ -1,0 +1,28 @@
+// Hand-written wrangler scripts for the three datasets, standing in for
+// the paper's "skilled user spends 1 hour in Trifacta, writes 30-40 lines
+// of wrangler code". Coverage is deliberately partial — the user fixes the
+// families they notice, which is exactly the recall ceiling the paper
+// measures for the baseline.
+#ifndef USTL_WRANGLER_SCRIPTS_H_
+#define USTL_WRANGLER_SCRIPTS_H_
+
+#include "wrangler/rule.h"
+
+namespace ustl {
+
+/// Address: expand the common street suffixes and states, strip ordinal
+/// suffixes, expand compass directions.
+const WranglerScript& AddressWranglerScript();
+
+/// AuthorList: drop (edt)/(author)/(editor) annotations, transpose
+/// whole-cell "last, first" lists of one or two authors, expand a few
+/// nicknames.
+const WranglerScript& AuthorListWranglerScript();
+
+/// JournalTitle: expand the common word abbreviations, & -> and, drop a
+/// leading article, lowercase everything.
+const WranglerScript& JournalTitleWranglerScript();
+
+}  // namespace ustl
+
+#endif  // USTL_WRANGLER_SCRIPTS_H_

@@ -1,0 +1,245 @@
+// Tests for src/datagen: vocabularies, the segment judges, and the three
+// dataset generators (determinism, ground truth consistency, Table 6
+// shape).
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "datagen/judges.h"
+#include "datagen/vocab.h"
+
+namespace ustl {
+namespace {
+
+TEST(VocabTest, DictionariesAreBidirectional) {
+  EXPECT_EQ(StreetSuffixes().Abbreviate("Street"), "St");
+  EXPECT_EQ(StreetSuffixes().Expand("St"), "Street");
+  EXPECT_TRUE(StreetSuffixes().ArePaired("Avenue", "Ave"));
+  EXPECT_TRUE(StreetSuffixes().ArePaired("Ave", "Avenue"));
+  EXPECT_FALSE(StreetSuffixes().ArePaired("Street", "Ave"));
+  EXPECT_FALSE(StreetSuffixes().Abbreviate("Nonsense").has_value());
+}
+
+TEST(VocabTest, StatesAndDirections) {
+  EXPECT_EQ(States().Abbreviate("Wisconsin"), "WI");
+  EXPECT_EQ(States().Expand("CA"), "California");
+  EXPECT_EQ(Directions().Abbreviate("East"), "E");
+}
+
+TEST(VocabTest, OrdinalRules) {
+  EXPECT_EQ(OrdinalOf(1), "1st");
+  EXPECT_EQ(OrdinalOf(2), "2nd");
+  EXPECT_EQ(OrdinalOf(3), "3rd");
+  EXPECT_EQ(OrdinalOf(4), "4th");
+  EXPECT_EQ(OrdinalOf(11), "11th");
+  EXPECT_EQ(OrdinalOf(12), "12th");
+  EXPECT_EQ(OrdinalOf(13), "13th");
+  EXPECT_EQ(OrdinalOf(21), "21st");
+  EXPECT_EQ(OrdinalOf(22), "22nd");
+  EXPECT_EQ(OrdinalOf(63), "63rd");
+  EXPECT_EQ(OrdinalOf(101), "101st");
+}
+
+TEST(VocabTest, StripOrdinal) {
+  EXPECT_EQ(StripOrdinal("9th"), "9");
+  EXPECT_EQ(StripOrdinal("22nd"), "22");
+  EXPECT_FALSE(StripOrdinal("9").has_value());
+  EXPECT_FALSE(StripOrdinal("9xx").has_value());
+  EXPECT_FALSE(StripOrdinal("th").has_value());
+  EXPECT_FALSE(StripOrdinal("2th").has_value());  // wrong suffix for 2
+}
+
+TEST(VocabTest, OrdinalPair) {
+  EXPECT_TRUE(OrdinalPair("9", "9th"));
+  EXPECT_TRUE(OrdinalPair("22nd", "22"));
+  EXPECT_FALSE(OrdinalPair("9", "3rd"));
+}
+
+TEST(VocabTest, InitialPair) {
+  EXPECT_TRUE(InitialPair("m.", "mary"));
+  EXPECT_TRUE(InitialPair("mary", "m."));
+  EXPECT_TRUE(InitialPair("M.", "mary"));  // case-insensitive initial
+  EXPECT_FALSE(InitialPair("m.", "nancy"));
+  EXPECT_FALSE(InitialPair("m", "mary"));   // needs the dot
+  EXPECT_FALSE(InitialPair("m.", "m."));
+}
+
+TEST(JudgesTest, TrimPunct) {
+  EXPECT_EQ(TrimPunct(",abc,", ","), "abc");
+  EXPECT_EQ(TrimPunct("(edt)", "()"), "edt");
+  EXPECT_EQ(TrimPunct(",,", ","), "");
+}
+
+TEST(JudgesTest, SegmentsEquivalentWithCanon) {
+  TokenCanon lower_canon = [](std::string_view token) {
+    std::string out;
+    for (char c : TrimPunct(token, ",")) {
+      out.push_back(static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c))));
+    }
+    return out;
+  };
+  EXPECT_TRUE(SegmentsEquivalent("Mary Lee", "mary lee", lower_canon, false));
+  EXPECT_TRUE(SegmentsEquivalent("Lee, Mary", "Mary Lee", lower_canon, true));
+  EXPECT_FALSE(SegmentsEquivalent("Lee, Mary", "Mary Lee", lower_canon,
+                                  false));
+  EXPECT_FALSE(SegmentsEquivalent("Mary Lee", "Nancy Lee", lower_canon, true));
+  EXPECT_TRUE(SegmentsEquivalent("m. lee", "mary lee", lower_canon, false))
+      << "dotted initials match their full form";
+}
+
+// --- Generators. ---
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  AddressGenOptions options;
+  options.scale = 0.05;
+  GeneratedDataset a = GenerateAddressDataset(options);
+  GeneratedDataset b = GenerateAddressDataset(options);
+  EXPECT_EQ(a.column, b.column);
+  options.seed = 999;
+  GeneratedDataset c = GenerateAddressDataset(options);
+  EXPECT_NE(a.column, c.column);
+}
+
+TEST(GeneratorTest, GroundTruthShapesMatch) {
+  AddressGenOptions options;
+  options.scale = 0.05;
+  GeneratedDataset data = GenerateAddressDataset(options);
+  ASSERT_EQ(data.column.size(), data.cell_truth.size());
+  ASSERT_EQ(data.column.size(), data.cluster_true_id.size());
+  for (size_t c = 0; c < data.column.size(); ++c) {
+    ASSERT_EQ(data.column[c].size(), data.cell_truth[c].size());
+    ASSERT_FALSE(data.column[c].empty());
+    // The first record renders the true value canonically.
+    EXPECT_EQ(data.cell_truth[c][0], data.cluster_true_id[c]);
+    // Every cell string is registered for its id.
+    for (size_t r = 0; r < data.column[c].size(); ++r) {
+      auto it = data.string_ids.find(data.column[c][r]);
+      ASSERT_NE(it, data.string_ids.end());
+      EXPECT_TRUE(it->second.count(data.cell_truth[c][r]) > 0);
+    }
+  }
+}
+
+TEST(GeneratorTest, VariantCellPairsAreJudgedVariant) {
+  // Cells with the same truth id but different strings must be accepted by
+  // the string-level judge (the oracle must be able to approve genuine
+  // groups).
+  for (int which = 0; which < 3; ++which) {
+    GeneratedDataset data;
+    if (which == 0) {
+      AddressGenOptions options;
+      options.scale = 0.05;
+      data = GenerateAddressDataset(options);
+    } else if (which == 1) {
+      AuthorListGenOptions options;
+      options.scale = 0.1;
+      data = GenerateAuthorListDataset(options);
+    } else {
+      JournalTitleGenOptions options;
+      options.scale = 0.05;
+      data = GenerateJournalTitleDataset(options);
+    }
+    size_t checked = 0, agreed = 0;
+    for (size_t c = 0; c < data.column.size(); ++c) {
+      for (size_t a = 0; a < data.column[c].size(); ++a) {
+        for (size_t b = a + 1; b < data.column[c].size(); ++b) {
+          if (data.column[c][a] == data.column[c][b]) continue;
+          if (!data.IsVariantCellPair(c, a, b)) continue;
+          ++checked;
+          agreed += data.IsTrueVariantPair(
+              StringPair{data.column[c][a], data.column[c][b]});
+        }
+      }
+    }
+    ASSERT_GT(checked, 0u) << "dataset " << which;
+    // string_ids covers all full-value pairs exactly.
+    EXPECT_EQ(agreed, checked) << "dataset " << which;
+  }
+}
+
+TEST(GeneratorTest, ConflictCellPairsAreJudgedConflict) {
+  AddressGenOptions options;
+  options.scale = 0.05;
+  GeneratedDataset data = GenerateAddressDataset(options);
+  size_t checked = 0, false_accepts = 0;
+  for (size_t c = 0; c < data.column.size(); ++c) {
+    for (size_t a = 0; a < data.column[c].size(); ++a) {
+      for (size_t b = a + 1; b < data.column[c].size(); ++b) {
+        if (data.column[c][a] == data.column[c][b]) continue;
+        if (data.IsVariantCellPair(c, a, b)) continue;
+        ++checked;
+        false_accepts += data.IsTrueVariantPair(
+            StringPair{data.column[c][a], data.column[c][b]});
+      }
+    }
+  }
+  ASSERT_GT(checked, 0u);
+  // Different addresses should essentially never be judged variants.
+  EXPECT_LT(static_cast<double>(false_accepts) / checked, 0.01);
+}
+
+TEST(GeneratorTest, SegmentJudgesAcceptDictionaryFamilies) {
+  AddressGenOptions options;
+  options.scale = 0.02;
+  GeneratedDataset address = GenerateAddressDataset(options);
+  EXPECT_TRUE(address.IsTrueVariantPair({"Street", "St"}));
+  EXPECT_TRUE(address.IsTrueVariantPair({"WI", "Wisconsin"}));
+  EXPECT_TRUE(address.IsTrueVariantPair({"9", "9th"}));
+  EXPECT_TRUE(address.IsTrueVariantPair({"9 Street", "9th St"}));
+  EXPECT_FALSE(address.IsTrueVariantPair({"Street", "Ave"}));
+  EXPECT_FALSE(address.IsTrueVariantPair({"9", "8th"}));
+
+  AuthorListGenOptions author_options;
+  author_options.scale = 0.05;
+  GeneratedDataset authors = GenerateAuthorListDataset(author_options);
+  EXPECT_TRUE(authors.IsTrueVariantPair({"lee, mary", "mary lee"}));
+  EXPECT_TRUE(authors.IsTrueVariantPair({"m. lee", "mary lee"}));
+  EXPECT_TRUE(authors.IsTrueVariantPair({"bob smith", "robert smith"}));
+  EXPECT_TRUE(authors.IsTrueVariantPair(
+      {"smith, james (edt)", "james smith"}));
+  EXPECT_FALSE(authors.IsTrueVariantPair({"mary lee", "nancy lee"}));
+
+  JournalTitleGenOptions journal_options;
+  journal_options.scale = 0.02;
+  GeneratedDataset journals = GenerateJournalTitleDataset(journal_options);
+  EXPECT_TRUE(journals.IsTrueVariantPair(
+      {"J. of Biology", "Journal of Biology"}));
+  EXPECT_TRUE(journals.IsTrueVariantPair(
+      {"Physics & Chemistry", "Physics and Chemistry"}));
+  EXPECT_TRUE(journals.IsTrueVariantPair(
+      {"journal of biology", "Journal of Biology"}));
+  EXPECT_FALSE(journals.IsTrueVariantPair(
+      {"Journal of Biology", "Journal of Physics"}));
+}
+
+TEST(GeneratorTest, StatsRoughlyMatchTable6Shape) {
+  AllDatasets all = GenerateAllDatasets(0.3, 7);
+  DatasetStats authors = ComputeStats(all.author_list);
+  DatasetStats address = ComputeStats(all.address);
+  DatasetStats journals = ComputeStats(all.journal_title);
+
+  // Table 6 shape: JournalTitle is variant-heavy (74%), Address is
+  // conflict-heavy (18% variant), AuthorList in between (26.5%).
+  EXPECT_GT(journals.variant_pair_fraction, 0.5);
+  EXPECT_LT(address.variant_pair_fraction, 0.45);
+  EXPECT_GT(authors.variant_pair_fraction, 0.1);
+  EXPECT_LT(authors.variant_pair_fraction, 0.6);
+  // Cluster-size ordering: AuthorList > Address > JournalTitle.
+  EXPECT_GT(authors.avg_cluster_size, address.avg_cluster_size);
+  EXPECT_GT(address.avg_cluster_size, journals.avg_cluster_size);
+  // Fractions sum to one.
+  EXPECT_NEAR(address.variant_pair_fraction + address.conflict_pair_fraction,
+              1.0, 1e-9);
+}
+
+TEST(GeneratorTest, ScaleMultipliesClusterCount) {
+  AddressGenOptions small;
+  small.scale = 0.1;
+  AddressGenOptions large;
+  large.scale = 0.2;
+  EXPECT_EQ(GenerateAddressDataset(small).num_clusters() * 2,
+            GenerateAddressDataset(large).num_clusters());
+}
+
+}  // namespace
+}  // namespace ustl

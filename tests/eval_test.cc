@@ -1,0 +1,128 @@
+// Tests for src/eval: the Table 7 confusion protocol, metric formulas
+// (precision, recall, MCC per Section 8), pair sampling, and reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace ustl {
+namespace {
+
+TEST(MetricsTest, PrecisionRecallBasics) {
+  Confusion c{/*tp=*/8, /*fp=*/2, /*fn=*/4, /*tn=*/86};
+  EXPECT_DOUBLE_EQ(Precision(c), 0.8);
+  EXPECT_DOUBLE_EQ(Recall(c), 8.0 / 12.0);
+}
+
+TEST(MetricsTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Precision(Confusion{0, 0, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(Confusion{0, 5, 0, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(Mcc(Confusion{0, 0, 0, 0}), 0.0);
+}
+
+TEST(MetricsTest, MccPerfectAndInverse) {
+  EXPECT_DOUBLE_EQ(Mcc(Confusion{10, 0, 0, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(Mcc(Confusion{0, 10, 10, 0}), -1.0);
+}
+
+TEST(MetricsTest, MccBalancedFormula) {
+  // Hand-computed: tp=6, fp=1, fn=2, tn=11.
+  Confusion c{6, 1, 2, 11};
+  double expected = (6.0 * 11 - 1.0 * 2) /
+                    std::sqrt((6.0 + 1) * (6.0 + 2) * (11.0 + 1) * (11.0 + 2));
+  EXPECT_NEAR(Mcc(c), expected, 1e-12);
+}
+
+TEST(MetricsTest, MccIsClassBalanceRobust) {
+  // The paper's reason for MCC: with a huge negative class, precision and
+  // recall alone can look fine while MCC exposes weak correlation.
+  Confusion weak{1, 0, 99, 900};
+  EXPECT_DOUBLE_EQ(Precision(weak), 1.0);
+  EXPECT_LT(Mcc(weak), 0.15);
+}
+
+TEST(SampleLabeledPairsTest, OnlyNonIdenticalInClusterPairs) {
+  Column column = {{"a", "a", "b"}, {"c", "d"}};
+  auto judge = [](size_t, size_t, size_t) { return true; };
+  auto samples = SampleLabeledPairs(column, judge, 100, 1);
+  // (a,b) twice in cluster 0 (rows 0-2 and 1-2), (c,d) once in cluster 1.
+  EXPECT_EQ(samples.size(), 3u);
+  for (const SampledPair& s : samples) {
+    EXPECT_NE(column[s.cluster][s.row_a], column[s.cluster][s.row_b]);
+  }
+}
+
+TEST(SampleLabeledPairsTest, RespectsCountAndSeed) {
+  Column column(10, std::vector<std::string>{"a", "b", "c", "d"});
+  auto judge = [](size_t, size_t, size_t) { return false; };
+  auto s1 = SampleLabeledPairs(column, judge, 5, 42);
+  auto s2 = SampleLabeledPairs(column, judge, 5, 42);
+  auto s3 = SampleLabeledPairs(column, judge, 5, 43);
+  EXPECT_EQ(s1.size(), 5u);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].cluster, s2[i].cluster);
+    EXPECT_EQ(s1[i].row_a, s2[i].row_a);
+  }
+  bool different = s3.size() != s1.size();
+  for (size_t i = 0; !different && i < s1.size(); ++i) {
+    different = s1[i].cluster != s3[i].cluster || s1[i].row_a != s3[i].row_a ||
+                s1[i].row_b != s3[i].row_b;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(EvaluateIdentityTest, Table7Protocol) {
+  Column column = {{"x", "x"},   // variant pair, became identical -> TP
+                   {"x", "y"},   // variant pair, still different  -> FN
+                   {"z", "z"},   // conflict pair, became identical -> FP
+                   {"u", "v"}};  // conflict pair, still different -> TN
+  std::vector<SampledPair> samples = {
+      {0, 0, 1, true}, {1, 0, 1, true}, {2, 0, 1, false}, {3, 0, 1, false}};
+  Confusion c = EvaluateIdentity(column, samples);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(TextTableTest, RendersAligned) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Rows are padded to the same prefix width.
+  size_t header_value = out.find("value");
+  size_t row_one = out.find("1");
+  EXPECT_NE(header_value, std::string::npos);
+  EXPECT_NE(row_one, std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(FmtTest, FixedDigits) {
+  EXPECT_EQ(Fmt(0.5), "0.500");
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Fmt(100, 0), "100");
+}
+
+TEST(RenderSeriesTest, GnuplotShape) {
+  std::string out = RenderSeries("fig", {"x", "m1", "m2"},
+                                 {{0, 0.5, 0.25}, {10, 0.75, 0.5}});
+  EXPECT_NE(out.find("# fig"), std::string::npos);
+  EXPECT_NE(out.find("# x m1 m2"), std::string::npos);
+  EXPECT_NE(out.find("10 0.7500 0.5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ustl

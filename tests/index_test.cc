@@ -1,0 +1,154 @@
+// Tests for src/index: posting lists and the adjacency-join intersection
+// (Section 5.1, Example 5.1).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "index/inverted_index.h"
+
+namespace ustl {
+namespace {
+
+TEST(InvertedIndexTest, BuildIndexesEveryLabel) {
+  TransformationGraph a("s1", "xy");
+  a.AddLabel(1, 2, 0);
+  a.AddLabel(2, 3, 1);
+  TransformationGraph b("s2", "pq");
+  b.AddLabel(1, 3, 0);
+  std::vector<TransformationGraph> graphs = {a, b};
+  InvertedIndex index = InvertedIndex::Build(graphs);
+  EXPECT_EQ(index.ListLength(0), 2u);
+  EXPECT_EQ(index.ListLength(1), 1u);
+  EXPECT_EQ(index.ListLength(99), 0u);
+  EXPECT_EQ(index.NumLabels(), 2u);
+  EXPECT_EQ(index.Find(0)[0], (Posting{0, 1, 2}));
+  EXPECT_EQ(index.Find(0)[1], (Posting{1, 1, 3}));
+}
+
+TEST(InvertedIndexTest, ExtendJoinsAdjacentSpans) {
+  // (G, a, b) x (G, b, c) -> (G, a, c); non-adjacent spans don't join.
+  PostingList current = {{0, 1, 3}, {1, 1, 2}};
+  PostingList label = {{0, 3, 5}, {0, 4, 5}, {1, 3, 4}};
+  PostingList joined = InvertedIndex::Extend(current, label, nullptr);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0], (Posting{0, 1, 5}));
+}
+
+TEST(InvertedIndexTest, ExtendFiltersDeadGraphs) {
+  PostingList current = {{0, 1, 2}, {1, 1, 2}};
+  PostingList label = {{0, 2, 3}, {1, 2, 3}};
+  std::vector<char> alive = {1, 0};
+  PostingList joined = InvertedIndex::Extend(current, label, &alive);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].graph, 0u);
+}
+
+TEST(InvertedIndexTest, ExtendDeduplicates) {
+  // Two ways to reach the same span collapse to one posting.
+  PostingList current = {{0, 1, 2}, {0, 1, 2}};
+  PostingList label = {{0, 2, 4}};
+  PostingList joined = InvertedIndex::Extend(current, label, nullptr);
+  EXPECT_EQ(joined.size(), 1u);
+}
+
+TEST(InvertedIndexTest, DistinctGraphs) {
+  PostingList list = {{0, 1, 2}, {0, 2, 3}, {2, 1, 2}, {5, 1, 2}, {5, 1, 3}};
+  EXPECT_EQ(InvertedIndex::DistinctGraphs(list), 3u);
+  EXPECT_EQ(InvertedIndex::DistinctGraphs({}), 0u);
+}
+
+TEST(InvertedIndexTest, Example51Intersection) {
+  // Example 5.1: phi1 = "Lee, Mary" -> "M. Lee", phi2 = "Smith, James" ->
+  // "J. Smith", phi3 = "Lee, Mary" -> "Mary Lee". The path f2 (+) f3 (+) f1
+  // is contained by G1 and G2 with spans (1,7) and (1,9).
+  LabelInterner interner;
+  GraphBuilder builder(GraphBuilderOptions{}, &interner);
+  std::vector<TransformationGraph> graphs;
+  graphs.push_back(std::move(builder.Build("Lee, Mary", "M. Lee")).value());
+  graphs.push_back(
+      std::move(builder.Build("Smith, James", "J. Smith")).value());
+  graphs.push_back(std::move(builder.Build("Lee, Mary", "Mary Lee")).value());
+  InvertedIndex index = InvertedIndex::Build(graphs);
+
+  Term tc = Term::Regex(CharClass::kUpper);
+  Term tl = Term::Regex(CharClass::kLower);
+  Term tb = Term::Regex(CharClass::kSpace);
+  LabelId f2, f3, f1;
+  ASSERT_TRUE(interner.Lookup(
+      StringFn::SubStr(PosFn::MatchPos(tb, 1, Dir::kEnd),
+                       PosFn::MatchPos(tc, -1, Dir::kEnd)),
+      &f2));
+  ASSERT_TRUE(interner.Lookup(StringFn::ConstantStr(". "), &f3));
+  ASSERT_TRUE(interner.Lookup(
+      StringFn::SubStr(PosFn::MatchPos(tc, 1, Dir::kBegin),
+                       PosFn::MatchPos(tl, 1, Dir::kEnd)),
+      &f1));
+
+  PostingList root = {{0, 1, 1}, {1, 1, 1}, {2, 1, 1}};
+  PostingList after_f2 = InvertedIndex::Extend(root, index.Find(f2), nullptr);
+  PostingList after_f3 =
+      InvertedIndex::Extend(after_f2, index.Find(f3), nullptr);
+  PostingList after_f1 =
+      InvertedIndex::Extend(after_f3, index.Find(f1), nullptr);
+
+  // Contained by G1 (span 1..7) and G2 (span 1..9), not by G3.
+  ASSERT_EQ(after_f1.size(), 2u);
+  EXPECT_EQ(after_f1[0], (Posting{0, 1, 7}));
+  EXPECT_EQ(after_f1[1], (Posting{1, 1, 9}));
+}
+
+// Quadratic reference join for differential testing of the galloping
+// merge in Extend.
+PostingList NaiveExtend(const PostingList& current,
+                        const PostingList& label_list,
+                        const std::vector<char>* alive) {
+  PostingList out;
+  for (const Posting& a : current) {
+    if (alive != nullptr && !(*alive)[a.graph]) continue;
+    for (const Posting& b : label_list) {
+      if (a.graph == b.graph && a.end == b.start) {
+        out.push_back(Posting{a.graph, a.start, b.end});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+class ExtendDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtendDifferentialTest, MatchesNaiveJoinOnRandomLists) {
+  std::mt19937_64 rng(GetParam());
+  auto random_list = [&](size_t n, GraphId max_graph) {
+    PostingList list;
+    for (size_t i = 0; i < n; ++i) {
+      GraphId g = static_cast<GraphId>(rng() % max_graph);
+      int start = 1 + static_cast<int>(rng() % 6);
+      int end = start + 1 + static_cast<int>(rng() % 4);
+      list.push_back(Posting{g, start, end});
+    }
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+  };
+  for (int round = 0; round < 50; ++round) {
+    // Skewed sizes on alternating sides to force the galloping paths.
+    const bool skew_current = (round % 2) == 0;
+    PostingList current = random_list(skew_current ? 3 : 200, 64);
+    PostingList label = random_list(skew_current ? 200 : 3, 64);
+    std::vector<char> alive(64, 1);
+    for (size_t g = 0; g < alive.size(); ++g) alive[g] = (rng() % 4) != 0;
+    EXPECT_EQ(InvertedIndex::Extend(current, label, &alive),
+              NaiveExtend(current, label, &alive));
+    EXPECT_EQ(InvertedIndex::Extend(current, label, nullptr),
+              NaiveExtend(current, label, nullptr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendDifferentialTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace ustl

@@ -1,0 +1,333 @@
+// Cross-module invariants checked against independent reference
+// implementations ("differential" style): DSL position semantics vs a
+// hand-rolled Appendix-B evaluator, CanProduce vs materialized Eval,
+// per-edge label soundness of the transformation graph, incremental
+// upper-bound soundness, structure invariance of groups, and framework
+// edge cases (empty/degenerate inputs, multi-column tables, budget 0).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "consolidate/framework.h"
+#include "consolidate/oracle.h"
+#include "graph/graph_builder.h"
+#include "grouping/grouping.h"
+#include "text/structure.h"
+
+namespace ustl {
+namespace {
+
+// --- Reference semantics for position functions (Appendix B). ----------
+
+// Independent run scanner (not FindMatches): collects maximal runs of the
+// wanted class by a single pass.
+std::vector<std::pair<int, int>> ReferenceRuns(std::string_view s,
+                                               CharClass want) {
+  std::vector<std::pair<int, int>> runs;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (ClassOf(s[i]) != want) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < s.size() && ClassOf(s[j]) == want) ++j;
+    runs.emplace_back(static_cast<int>(i) + 1, static_cast<int>(j) + 1);
+    i = j;
+  }
+  return runs;
+}
+
+std::optional<int> ReferenceEval(const PosFn& pos, std::string_view s) {
+  const int n = static_cast<int>(s.size());
+  if (pos.is_const_pos()) {
+    const int k = pos.k();
+    if (k > 0) return k <= n + 1 ? std::optional<int>(k) : std::nullopt;
+    if (k >= -(n + 1)) return n + 2 + k;
+    return std::nullopt;
+  }
+  std::vector<std::pair<int, int>> runs;
+  if (pos.term().is_regex()) {
+    runs = ReferenceRuns(s, pos.term().char_class());
+  } else {
+    // Non-overlapping leftmost occurrences of the literal.
+    const std::string& lit = pos.term().literal();
+    size_t from = 0;
+    while (true) {
+      size_t at = s.find(lit, from);
+      if (at == std::string_view::npos) break;
+      runs.emplace_back(static_cast<int>(at) + 1,
+                        static_cast<int>(at + lit.size()) + 1);
+      from = at + lit.size();
+    }
+  }
+  const int m = static_cast<int>(runs.size());
+  int k = pos.k();
+  if (k < 0) k = m + 1 + k;
+  if (k < 1 || k > m) return std::nullopt;
+  return pos.dir() == Dir::kBegin ? runs[k - 1].first : runs[k - 1].second;
+}
+
+class PosFnDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PosFnDifferentialTest, EvalMatchesReferenceSemantics) {
+  std::mt19937_64 rng(GetParam());
+  static const char alphabet[] = "aB9 ,.xY0-";
+  auto random_string = [&]() {
+    std::string s;
+    const size_t len = rng() % 12;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng() % (sizeof(alphabet) - 1)]);
+    }
+    return s;
+  };
+  static const CharClass classes[] = {CharClass::kDigit, CharClass::kLower,
+                                      CharClass::kUpper, CharClass::kSpace};
+  for (int round = 0; round < 300; ++round) {
+    const std::string s = random_string();
+    int k = 1 + static_cast<int>(rng() % (s.size() + 3));
+    if (rng() % 2 == 0) k = -k;
+    PosFn pos = PosFn::ConstPos(k);
+    if (rng() % 2 == 0) {
+      Term term = rng() % 4 == 0 && !s.empty()
+                      ? Term::Constant(s.substr(rng() % s.size(),
+                                                1 + rng() % 3))
+                      : Term::Regex(classes[rng() % 4]);
+      pos = PosFn::MatchPos(term, k, rng() % 2 == 0 ? Dir::kBegin
+                                                    : Dir::kEnd);
+    }
+    EXPECT_EQ(pos.Eval(s), ReferenceEval(pos, s))
+        << pos.ToString() << " on \"" << s << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PosFnDifferentialTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// --- CanProduce vs materialized Eval. -----------------------------------
+
+class CanProduceDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanProduceDifferentialTest, AgreesWithEvalMembership) {
+  std::mt19937_64 rng(GetParam());
+  static const char alphabet[] = "ab A9.";
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    const size_t len = rng() % (max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng() % (sizeof(alphabet) - 1)]);
+    }
+    return s;
+  };
+  static const CharClass classes[] = {CharClass::kDigit, CharClass::kLower,
+                                      CharClass::kUpper, CharClass::kSpace};
+  for (int round = 0; round < 200; ++round) {
+    const std::string s = random_string(10);
+    std::string constant = random_string(4);
+    if (constant.empty()) constant = "k";
+    StringFn fn = StringFn::ConstantStr(std::move(constant));
+    switch (rng() % 4) {
+      case 0:
+        break;  // constant
+      case 1:
+        fn = StringFn::SubStr(
+            PosFn::ConstPos(1 + static_cast<int>(rng() % 5)),
+            PosFn::ConstPos(-1 - static_cast<int>(rng() % 5)));
+        break;
+      case 2:
+        fn = StringFn::Prefix(Term::Regex(classes[rng() % 4]),
+                              1 + static_cast<int>(rng() % 2));
+        break;
+      default:
+        fn = StringFn::Suffix(Term::Regex(classes[rng() % 4]),
+                              -1 - static_cast<int>(rng() % 2));
+    }
+    std::vector<std::string> outputs = fn.Eval(s);
+    std::set<std::string> output_set(outputs.begin(), outputs.end());
+    // Every claimed output is produced, and a handful of probes agree.
+    for (const std::string& out : outputs) {
+      EXPECT_TRUE(fn.CanProduce(s, out))
+          << fn.ToString() << " on \"" << s << "\" output \"" << out << "\"";
+    }
+    for (int probe = 0; probe < 5; ++probe) {
+      const std::string candidate = random_string(4);
+      EXPECT_EQ(fn.CanProduce(s, candidate),
+                output_set.count(candidate) > 0)
+          << fn.ToString() << " on \"" << s << "\" probe \"" << candidate
+          << "\"";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanProduceDifferentialTest,
+                         ::testing::Values(7u, 17u, 27u));
+
+// --- Per-edge label soundness of the transformation graph. --------------
+
+class GraphLabelSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphLabelSoundnessTest, EveryEdgeLabelProducesItsSubstring) {
+  std::mt19937_64 rng(GetParam());
+  static const char* samples[] = {
+      "Lee, Mary", "M. Lee", "9th St, 02141 WI", "9 Street",
+      "Avenue",    "Ave",    "fox, dan",        "dan fox",
+  };
+  for (int round = 0; round < 20; ++round) {
+    const std::string s = samples[rng() % 8];
+    const std::string t = samples[rng() % 8];
+    if (s == t) continue;
+    LabelInterner interner;
+    GraphBuilder builder(GraphBuilderOptions{}, &interner);
+    Result<TransformationGraph> graph = builder.Build(s, t);
+    ASSERT_TRUE(graph.ok());
+    for (int from = 1; from <= graph->num_nodes(); ++from) {
+      for (const GraphEdge& edge : graph->edges_from(from)) {
+        const std::string piece = t.substr(from - 1, edge.to - from);
+        for (LabelId label : edge.labels) {
+          EXPECT_TRUE(interner.Get(label).CanProduce(s, piece))
+              << interner.Get(label).ToString() << " on \"" << s
+              << "\" must produce \"" << piece << "\"";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphLabelSoundnessTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+// --- Incremental upper bounds stay sound step by step. -------------------
+
+TEST(IncrementalBoundsTest, GroupSizesBoundedAndNonIncreasing) {
+  std::vector<StringPair> pairs = {
+      {"9th", "9"},   {"3rd", "3"},     {"22nd", "22"}, {"101st", "101"},
+      {"47th", "47"}, {"Street", "St"}, {"Avenue", "Ave"},
+      {"Lee, Mary", "M. Lee"},          {"Smith, James", "J. Smith"},
+  };
+  GroupingEngine engine(pairs, GroupingOptions{});
+  size_t previous = pairs.size();
+  while (true) {
+    const size_t remaining_before = engine.RemainingCount();
+    auto group = engine.Next();
+    if (!group.has_value()) break;
+    // No group can exceed what was left, and sizes never increase
+    // (Theorem 6.4's "largest first").
+    EXPECT_LE(group->size(), remaining_before);
+    EXPECT_LE(group->size(), previous);
+    EXPECT_EQ(engine.RemainingCount(), remaining_before - group->size());
+    previous = group->size();
+  }
+  EXPECT_EQ(engine.RemainingCount(), 0u);
+}
+
+// --- Groups never mix structures. ----------------------------------------
+
+TEST(StructureInvarianceTest, AllGroupMembersShareTheStructureKey) {
+  std::vector<StringPair> pairs = {
+      {"9th", "9"},    {"3rd", "3"},    {"Street", "St"},
+      {"Avenue", "Ave"}, {"Lee, Mary", "M. Lee"},
+      {"Smith, James", "J. Smith"},     {"Wisconsin", "WI"},
+  };
+  GroupingEngine engine(pairs, GroupingOptions{});
+  while (auto group = engine.Next()) {
+    std::set<std::string> structures;
+    for (size_t i : group->member_pair_indices) {
+      structures.insert(
+          ReplacementStructure(pairs[i].lhs, pairs[i].rhs));
+    }
+    EXPECT_EQ(structures.size(), 1u) << group->program;
+    EXPECT_EQ(*structures.begin(), group->structure);
+  }
+}
+
+// --- Framework edge cases. ------------------------------------------------
+
+TEST(FrameworkEdgeTest, EmptyColumnIsANoOp) {
+  Column column;
+  ApproveAllOracle oracle;
+  ColumnRunResult result =
+      StandardizeColumn(&column, &oracle, FrameworkOptions{});
+  EXPECT_EQ(result.groups_presented, 0u);
+  EXPECT_EQ(result.edits, 0u);
+}
+
+TEST(FrameworkEdgeTest, SingletonClustersProduceNoCandidates) {
+  Column column = {{"a"}, {"b"}, {"c"}};
+  ApproveAllOracle oracle;
+  ColumnRunResult result =
+      StandardizeColumn(&column, &oracle, FrameworkOptions{});
+  EXPECT_EQ(result.groups_presented, 0u);
+  EXPECT_EQ(column, (Column{{"a"}, {"b"}, {"c"}}));
+}
+
+TEST(FrameworkEdgeTest, IdenticalValuesProduceNoCandidates) {
+  Column column = {{"same", "same", "same"}};
+  ApproveAllOracle oracle;
+  ColumnRunResult result =
+      StandardizeColumn(&column, &oracle, FrameworkOptions{});
+  EXPECT_EQ(result.groups_presented, 0u);
+}
+
+TEST(FrameworkEdgeTest, ZeroBudgetPresentsNothing) {
+  Column column = {{"9th", "9"}, {"3rd", "3"}};
+  ApproveAllOracle oracle;
+  FrameworkOptions options;
+  options.budget_per_column = 0;
+  ColumnRunResult result = StandardizeColumn(&column, &oracle, options);
+  EXPECT_EQ(result.groups_presented, 0u);
+  EXPECT_EQ(column, (Column{{"9th", "9"}, {"3rd", "3"}}));
+}
+
+TEST(FrameworkEdgeTest, ByteHeavyValuesSurvive) {
+  // Non-ASCII bytes and control characters must not break candidate
+  // generation, structure keys, graph building, or application.
+  Column column = {
+      {"caf\xc3\xa9 9th", "caf\xc3\xa9 9"},
+      {"x\x01y 3rd", "x\x01y 3"},
+  };
+  ApproveAllOracle oracle;
+  FrameworkOptions options;
+  ColumnRunResult result = StandardizeColumn(&column, &oracle, options);
+  EXPECT_GT(result.edits, 0u);
+  EXPECT_EQ(column[0][0], column[0][1]);
+}
+
+TEST(FrameworkEdgeTest, MultiColumnTableStandardizesEachColumn) {
+  Table table({"ordinal", "suffix"});
+  size_t c0 = table.AddCluster();
+  table.AddRecord(c0, {"9th", "Street"});
+  table.AddRecord(c0, {"9", "St"});
+  size_t c1 = table.AddCluster();
+  table.AddRecord(c1, {"3rd", "Avenue"});
+  table.AddRecord(c1, {"3", "Ave"});
+
+  ApproveAllOracle oracle;
+  FrameworkOptions options;
+  options.budget_per_column = 10;
+  GoldenRecordRun run = GoldenRecordCreation(&table, &oracle, options);
+  ASSERT_EQ(run.per_column.size(), 2u);
+  EXPECT_GT(run.per_column[0].edits, 0u);
+  EXPECT_GT(run.per_column[1].edits, 0u);
+  // Within each cluster both columns converged, so MC resolves both.
+  ASSERT_EQ(run.golden_records.size(), 2u);
+  for (const GoldenRecord& record : run.golden_records) {
+    EXPECT_TRUE(record[0].has_value());
+    EXPECT_TRUE(record[1].has_value());
+  }
+}
+
+TEST(FrameworkEdgeTest, LongValuesAreSkippedNotCrashed) {
+  const std::string huge(10000, 'x');
+  Column column = {{huge, huge + "y"}, {"9th", "9"}};
+  ApproveAllOracle oracle;
+  FrameworkOptions options;
+  ColumnRunResult result = StandardizeColumn(&column, &oracle, options);
+  // The huge cluster is skipped by max_value_len; the small one works.
+  EXPECT_EQ(column[1][0], column[1][1]);
+  EXPECT_EQ(column[0][0], huge);
+}
+
+}  // namespace
+}  // namespace ustl

@@ -1,0 +1,120 @@
+// Tests for src/wrangler: the rule engine and the three hand-written
+// dataset scripts (the paper's Trifacta baseline, Section 8).
+#include <gtest/gtest.h>
+
+#include "wrangler/rule.h"
+#include "wrangler/scripts.h"
+
+namespace ustl {
+namespace {
+
+WranglerRule Re(std::string pattern, std::string replacement) {
+  WranglerRule rule;
+  rule.pattern = std::move(pattern);
+  rule.replacement = std::move(replacement);
+  return rule;
+}
+
+TEST(WranglerRuleTest, CompileRejectsBadRegex) {
+  EXPECT_FALSE(WranglerScript::Compile("bad", {Re("(", "x")}).ok());
+}
+
+TEST(WranglerRuleTest, CaptureGroupSubstitution) {
+  // Section 8's second example rule: transpose "last, first initial.".
+  auto script = WranglerScript::Compile(
+      "transpose",
+      {Re("([a-z]+), ([a-z]+) ([a-z]\\.)", "$2 $3 $1")});
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->Apply("knuth, donald e."), "donald e. knuth");
+}
+
+TEST(WranglerRuleTest, RemoveParenthesized) {
+  // Section 8's first example rule: drop parenthesized annotations.
+  auto script = WranglerScript::Compile(
+      "strip", {Re("\\s*\\([a-z]+\\)", "")});
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->Apply("john carroll (edt)"), "john carroll");
+  EXPECT_EQ(script->Apply("keith brown (author)"), "keith brown");
+}
+
+TEST(WranglerRuleTest, RulesApplyInOrder) {
+  auto script = WranglerScript::Compile(
+      "chain", {Re("a", "b"), Re("b", "c")});
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->Apply("a"), "c");
+}
+
+TEST(WranglerRuleTest, LowercaseRule) {
+  WranglerRule lower;
+  lower.kind = WranglerRule::Kind::kLowercase;
+  auto script = WranglerScript::Compile("lower", {lower});
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->Apply("Journal of Biology"), "journal of biology");
+}
+
+TEST(WranglerRuleTest, ApplyToColumnCountsChanges) {
+  auto script = WranglerScript::Compile("x", {Re("\\bSt\\b", "Street")});
+  ASSERT_TRUE(script.ok());
+  Column column = {{"9 St", "9 Street"}, {"Oak St", "unrelated"}};
+  EXPECT_EQ(script->ApplyToColumn(&column), 2u);
+  EXPECT_EQ(column[0][0], "9 Street");
+  EXPECT_EQ(column[1][0], "Oak Street");
+}
+
+TEST(WranglerRuleTest, UnanchoredRuleCorruptsExpandedForms) {
+  // Why the scripts anchor with \b: a naive "St" rule rewrites "Street"
+  // into "Streetreet" — the global-application hazard of Section 8.
+  auto script = WranglerScript::Compile("x", {Re("St", "Street")});
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->Apply("Street"), "Streetreet");
+}
+
+TEST(WranglerScriptsTest, AddressScriptExpandsAbbreviations) {
+  const WranglerScript& script = AddressWranglerScript();
+  EXPECT_EQ(script.Apply("9th St, 02141 WI"), "9 Street, 02141 Wisconsin");
+  EXPECT_EQ(script.Apply("3 E Ave, 33990 CA"),
+            "3 East Avenue, 33990 California");
+}
+
+TEST(WranglerScriptsTest, AddressScriptIsPartial) {
+  // The baseline's recall ceiling: families the user missed stay put.
+  const WranglerScript& script = AddressWranglerScript();
+  EXPECT_EQ(script.Apply("5 Oak Ter, 10001 NV"), "5 Oak Ter, 10001 NV");
+}
+
+TEST(WranglerScriptsTest, AddressScriptGlobalCollateral) {
+  // Global application is the baseline's failure mode (Section 8): an "E"
+  // that is not a direction is still expanded.
+  const WranglerScript& script = AddressWranglerScript();
+  EXPECT_EQ(script.Apply("E"), "East");
+}
+
+TEST(WranglerScriptsTest, AuthorScriptTransposesAndStrips) {
+  const WranglerScript& script = AuthorListWranglerScript();
+  // The nickname rules fire after transposition ("dan" -> "daniel").
+  EXPECT_EQ(script.Apply("fox, dan"), "daniel fox");
+  EXPECT_EQ(script.Apply("fox, dan box, jon"), "daniel fox, jon box");
+  EXPECT_EQ(script.Apply("brown, keith (author)"), "keith brown");
+  EXPECT_EQ(script.Apply("bob smith"), "robert smith");
+}
+
+TEST(WranglerScriptsTest, JournalScriptExpandsAbbreviations) {
+  const WranglerScript& script = JournalTitleWranglerScript();
+  EXPECT_EQ(script.Apply("J. of Biology"), "Journal of Biology");
+  EXPECT_EQ(script.Apply("Physics & Chemistry"), "Physics and Chemistry");
+  EXPECT_EQ(script.Apply("The Annals of Ecology"), "Annals of Ecology");
+  // Case variants are not handled (the baseline's recall ceiling).
+  EXPECT_EQ(script.Apply("journal of biology"), "journal of biology");
+}
+
+TEST(WranglerScriptsTest, ScriptsHaveUserScaleRuleCounts) {
+  // "the user wrote 30-40 lines of wrangler code" — our scripts stay in
+  // the same ballpark (10-25 rules each; one hour of a skilled user).
+  EXPECT_GE(AddressWranglerScript().num_rules(), 10u);
+  EXPECT_LE(AddressWranglerScript().num_rules(), 40u);
+  EXPECT_GE(AuthorListWranglerScript().num_rules(), 5u);
+  EXPECT_GE(JournalTitleWranglerScript().num_rules(), 10u);
+}
+
+}  // namespace
+}  // namespace ustl
