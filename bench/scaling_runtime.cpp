@@ -5,13 +5,55 @@
 // justifies the incremental algorithm — upfront cost grows superlinearly
 // while the top-k latency stays near-flat.
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "common/timer.h"
 #include "grouping/grouping.h"
 #include "replace/replacement_store.h"
 
+namespace {
+
+// Thread-count sweep over a multi-structure dataset: GroupAllUpfront with
+// early termination, whose per-structure-group fan-out is the parallel
+// hot path. Emits one JSON line per thread count so the speedup lands in
+// the bench trajectory (speedup is relative to the 1-thread run).
+void ThreadSweep() {
+  using namespace ustl;
+  using namespace ustl::bench;
+  printf("=== Scaling: grouping wall-clock vs num_threads ===\n\n");
+  AddressGenOptions gen;
+  gen.scale = BenchScale(0.4);
+  gen.seed = BenchSeed() + 2;
+  GeneratedDataset data = GenerateAddressDataset(gen);
+  ReplacementStore store(data.column, CandidateGenOptions{});
+  const std::vector<StringPair>& pairs = store.pairs();
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  double base_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    GroupingOptions options;
+    options.num_threads = threads;
+    UpfrontStats stats;
+    std::vector<Group> groups = GroupAllUpfront(pairs, options, true, &stats);
+    if (threads == 1) base_seconds = stats.seconds;
+    printf("{\"bench\": \"grouping_thread_sweep\", \"threads\": %d, "
+           "\"hardware_threads\": %u, \"pairs\": %zu, \"groups\": %zu, "
+           "\"seconds\": %.4f, \"speedup\": %.2f}\n",
+           threads, cores, pairs.size(), groups.size(), stats.seconds,
+           stats.seconds > 0 ? base_seconds / stats.seconds : 0.0);
+  }
+  printf("\nReading: structure groups are disjoint, so grouping time should "
+         "shrink with\nthe thread count until the largest single structure "
+         "group dominates; on a\nmachine with fewer hardware threads than "
+         "the sweep point, the curve flattens\nthere instead of speeding "
+         "up.\n\n");
+}
+
+}  // namespace
+
 int main() {
+  ThreadSweep();
   using namespace ustl;
   using namespace ustl::bench;
   printf("=== Scaling: grouping cost vs candidate count (Address analog) "

@@ -1,0 +1,140 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace ustl {
+
+namespace {
+
+// The pool the current thread works for, when it is a pool worker.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared control block of one ParallelFor call. Kept alive by shared_ptr:
+// worker tasks may outlive the caller's wait loop by a few instructions.
+struct ForState {
+  size_t n = 0;
+  size_t chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  size_t chunks_done = 0;
+
+  // Failure of the lowest-indexed chunk, matching serial-first semantics.
+  size_t failed_chunk = 0;
+  std::exception_ptr error;
+
+  // Drains chunks until the counter runs out. Returns when there is no
+  // more work to claim; completed chunk counts are published under the
+  // mutex so the caller can wait for stragglers.
+  void Drain() {
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      std::exception_ptr eptr;
+      const size_t begin = c * n / chunks;
+      const size_t end = (c + 1) * n / chunks;
+      try {
+        for (size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        eptr = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (eptr != nullptr && (error == nullptr || c < failed_chunk)) {
+        failed_chunk = c;
+        error = eptr;
+      }
+      if (++chunks_done == chunks) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  const bool serial =
+      pool == nullptr || pool->num_threads() <= 1 || n < 2 ||
+      pool->InWorkerThread();
+  if (serial) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  // More chunks than threads smooths imbalance between indices (graph
+  // sizes vary a lot); chunk boundaries depend only on n and this factor,
+  // never on the thread count, so work partitioning is reproducible.
+  const size_t max_chunks = static_cast<size_t>(pool->num_threads()) * 4;
+  state->chunks = n < max_chunks ? n : max_chunks;
+  state->fn = &fn;
+
+  const int helpers = pool->num_threads() - 1;
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();  // the calling thread is one of the num_threads lanes
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock,
+                       [&] { return state->chunks_done == state->chunks; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace ustl

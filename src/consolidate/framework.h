@@ -19,6 +19,10 @@ namespace ustl {
 
 struct FrameworkOptions {
   CandidateGenOptions candidates;
+  /// Grouping configuration, including `grouping.num_threads` (0 =
+  /// hardware concurrency, 1 = serial): the framework's parallelism knob.
+  /// Results are bit-identical for any value — see
+  /// GroupingOptions::num_threads for the contract.
   GroupingOptions grouping;
   /// Groups presented to the human per column (the budget of Section 3).
   size_t budget_per_column = 100;

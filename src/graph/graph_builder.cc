@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "text/char_class.h"
 #include "text/terms.h"
@@ -237,6 +239,62 @@ Result<TransformationGraph> GraphBuilder::Build(std::string_view s,
   }
 
   return graph;
+}
+
+Result<std::vector<TransformationGraph>> GraphBuilder::BuildBatch(
+    const std::vector<BuildRequest>& requests, ThreadPool* pool) const {
+  const size_t n = requests.size();
+  std::vector<TransformationGraph> graphs;
+  graphs.reserve(n);
+
+  const bool serial = pool == nullptr || pool->num_threads() <= 1 ||
+                      pool->InWorkerThread() || n < 2;
+  if (serial) {
+    for (const BuildRequest& request : requests) {
+      Result<TransformationGraph> graph =
+          Build(request.source, request.target);
+      if (!graph.ok()) return graph.status();
+      graphs.push_back(std::move(graph).value());
+    }
+    return graphs;
+  }
+
+  // Parallel phase: every graph gets a private interner, so construction
+  // is lock-free and the shared interner is untouched until the merge.
+  struct Shard {
+    std::unique_ptr<LabelInterner> interner;
+    std::optional<TransformationGraph> graph;
+    Status status;
+  };
+  std::vector<Shard> shards(n);
+  ParallelFor(pool, n, [&](size_t i) {
+    Shard& shard = shards[i];
+    shard.interner = std::make_unique<LabelInterner>();
+    GraphBuilder local(options_, shard.interner.get());
+    Result<TransformationGraph> graph =
+        local.Build(requests[i].source, requests[i].target);
+    if (graph.ok()) {
+      shard.graph.emplace(std::move(graph).value());
+    } else {
+      shard.status = graph.status();
+    }
+  });
+
+  // Merge phase, sequential in request order: folding shard i's labels in
+  // local-id order replays the exact label first-sight sequence of the
+  // serial loop, so the shared interner ends up byte-for-byte the same.
+  std::vector<LabelId> remap;
+  for (Shard& shard : shards) {
+    if (!shard.status.ok()) return shard.status;
+    remap.clear();
+    remap.reserve(shard.interner->size());
+    for (LabelId local = 0; local < shard.interner->size(); ++local) {
+      remap.push_back(interner_->Intern(shard.interner->Get(local)));
+    }
+    shard.graph->RemapLabels(remap);
+    graphs.push_back(std::move(*shard.graph));
+  }
+  return graphs;
 }
 
 }  // namespace ustl

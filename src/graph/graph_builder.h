@@ -7,7 +7,9 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "dsl/interner.h"
 #include "graph/term_scorer.h"
@@ -62,6 +64,23 @@ class GraphBuilder {
   /// always has at least one transformation path.
   Result<TransformationGraph> Build(std::string_view s,
                                     std::string_view t) const;
+
+  /// One replacement of a batch build; the viewed strings must outlive the
+  /// BuildBatch call.
+  struct BuildRequest {
+    std::string_view source;
+    std::string_view target;
+  };
+
+  /// Builds the graphs of one structure group, in request order, using
+  /// `pool` to construct them concurrently. Guaranteed bit-identical to
+  /// calling Build in a loop — including the ids the shared interner
+  /// assigns: each graph is built against a thread-private interner and
+  /// the shard interners are then folded into the shared one in request
+  /// order, which reproduces the serial first-sight order exactly. With a
+  /// null or single-threaded pool this *is* the serial loop.
+  Result<std::vector<TransformationGraph>> BuildBatch(
+      const std::vector<BuildRequest>& requests, ThreadPool* pool) const;
 
   const GraphBuilderOptions& options() const { return options_; }
 

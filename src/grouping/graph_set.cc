@@ -3,14 +3,18 @@
 namespace ustl {
 
 Result<GraphSet> GraphSet::Build(const std::vector<StringPair>& pairs,
-                                 const GraphBuilder& builder) {
+                                 const GraphBuilder& builder,
+                                 ThreadPool* pool) {
   GraphSet set;
-  set.graphs_.reserve(pairs.size());
+  std::vector<GraphBuilder::BuildRequest> requests;
+  requests.reserve(pairs.size());
   for (const StringPair& pair : pairs) {
-    Result<TransformationGraph> graph = builder.Build(pair.lhs, pair.rhs);
-    if (!graph.ok()) return graph.status();
-    set.graphs_.push_back(std::move(graph).value());
+    requests.push_back({pair.lhs, pair.rhs});
   }
+  Result<std::vector<TransformationGraph>> graphs =
+      builder.BuildBatch(requests, pool);
+  if (!graphs.ok()) return graphs.status();
+  set.graphs_ = std::move(graphs).value();
   set.index_ = InvertedIndex::Build(set.graphs_);
   set.alive_.assign(set.graphs_.size(), 1);
   set.interner_ = builder.interner();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "graph/graph_builder.h"
 #include "graph/transformation_graph.h"
@@ -21,9 +22,12 @@ namespace ustl {
 class GraphSet {
  public:
   /// Builds graphs for all pairs with `builder` and indexes them.
-  /// GraphId i corresponds to pairs[i].
+  /// GraphId i corresponds to pairs[i]. A non-null `pool` constructs the
+  /// graphs concurrently (GraphBuilder::BuildBatch); the result — graphs,
+  /// interner ids and index — is bit-identical to the serial build.
   static Result<GraphSet> Build(const std::vector<StringPair>& pairs,
-                                const GraphBuilder& builder);
+                                const GraphBuilder& builder,
+                                ThreadPool* pool = nullptr);
 
   const std::vector<TransformationGraph>& graphs() const { return graphs_; }
   /// The interner the graphs were built against (borrowed; must outlive

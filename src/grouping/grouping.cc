@@ -83,43 +83,69 @@ std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
     }
   }
 
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveThreadCount(options.num_threads) > 1) {
+    pool = std::make_unique<ThreadPool>(ResolveThreadCount(options.num_threads));
+  }
+
+  // Structure groups are disjoint, so each partition is grouped
+  // independently (its own interner, scorer and graphs) and results are
+  // concatenated in partition order — the same order, stats and groups the
+  // serial loop produces, whatever the thread count.
+  auto partitions = PartitionByStructure(pairs, options.structure_refinement);
+  struct PartitionOutput {
+    std::vector<Group> groups;
+    OneShotStats stats;
+  };
+  std::vector<PartitionOutput> outputs =
+      ParallelMap<PartitionOutput>(pool.get(), partitions.size(), [&](size_t p) {
+        auto& [structure, indices] = partitions[p];
+        PartitionOutput out;
+        LabelInterner interner;
+        std::unique_ptr<FrequencyTermScorer> scorer;
+        GraphBuilderOptions graph_options = options.graph;
+        if (options.use_term_scorer && options.structure_refinement) {
+          scorer = MakeScorer(pairs, indices, &global_corpus);
+          graph_options.scorer = scorer.get();
+        }
+        GraphBuilder builder(graph_options, &interner);
+        // The pool also accelerates graph construction inside a partition;
+        // nested use from a worker thread runs inline.
+        Result<GraphSet> set =
+            GraphSet::Build(SelectPairs(pairs, indices), builder, pool.get());
+        USTL_CHECK(set.ok());
+
+        OneShotOptions oneshot;
+        oneshot.early_termination = early_termination;
+        oneshot.max_path_len = options.max_path_len;
+        oneshot.max_expansions = max_expansions;
+        std::vector<ReplacementGroup> local =
+            UnsupervisedGrouping(*set, oneshot, &out.stats);
+        for (ReplacementGroup& rg : local) {
+          Group group;
+          group.pivot = std::move(rg.pivot);
+          group.structure = structure;
+          group.program =
+              SerializeProgram(Program::FromPath(group.pivot, interner));
+          group.member_pair_indices.reserve(rg.members.size());
+          for (GraphId g : rg.members) {
+            group.member_pair_indices.push_back(indices[g]);
+          }
+          if (!group.member_pair_indices.empty()) {
+            AnnotateGroup(interner, pairs[group.member_pair_indices[0]],
+                          &group);
+          }
+          out.groups.push_back(std::move(group));
+        }
+        return out;
+      });
+
   std::vector<Group> groups;
   OneShotStats search_stats;
-  for (auto& [structure, indices] :
-       PartitionByStructure(pairs, options.structure_refinement)) {
-    LabelInterner interner;
-    std::unique_ptr<FrequencyTermScorer> scorer;
-    GraphBuilderOptions graph_options = options.graph;
-    if (options.use_term_scorer && options.structure_refinement) {
-      scorer = MakeScorer(pairs, indices, &global_corpus);
-      graph_options.scorer = scorer.get();
-    }
-    GraphBuilder builder(graph_options, &interner);
-    Result<GraphSet> set = GraphSet::Build(SelectPairs(pairs, indices),
-                                           builder);
-    USTL_CHECK(set.ok());
-
-    OneShotOptions oneshot;
-    oneshot.early_termination = early_termination;
-    oneshot.max_path_len = options.max_path_len;
-    oneshot.max_expansions = max_expansions;
-    std::vector<ReplacementGroup> local =
-        UnsupervisedGrouping(*set, oneshot, &search_stats);
-    for (ReplacementGroup& rg : local) {
-      Group group;
-      group.pivot = std::move(rg.pivot);
-      group.structure = structure;
-      group.program =
-          SerializeProgram(Program::FromPath(group.pivot, interner));
-      group.member_pair_indices.reserve(rg.members.size());
-      for (GraphId g : rg.members) {
-        group.member_pair_indices.push_back(indices[g]);
-      }
-      if (!group.member_pair_indices.empty()) {
-        AnnotateGroup(interner, pairs[group.member_pair_indices[0]], &group);
-      }
-      groups.push_back(std::move(group));
-    }
+  for (PartitionOutput& out : outputs) {
+    for (Group& group : out.groups) groups.push_back(std::move(group));
+    search_stats.expansions += out.stats.expansions;
+    search_stats.truncated = search_stats.truncated || out.stats.truncated;
   }
 
   std::stable_sort(groups.begin(), groups.end(),
@@ -138,6 +164,10 @@ std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
 GroupingEngine::GroupingEngine(std::vector<StringPair> pairs,
                                GroupingOptions options)
     : pairs_(std::move(pairs)), options_(options) {
+  if (ResolveThreadCount(options_.num_threads) > 1) {
+    pool_ =
+        std::make_unique<ThreadPool>(ResolveThreadCount(options_.num_threads));
+  }
   if (options_.use_term_scorer) {
     for (const StringPair& pair : pairs_) {
       global_corpus_.Add(pair.lhs);
@@ -162,8 +192,12 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
     graph_options.scorer = sub->scorer.get();
   }
   GraphBuilder builder(graph_options, sub->interner.get());
+  // The pool parallelizes graph construction within the group; when this
+  // Preprocess itself runs on a pool worker (RefineBatch), the nested call
+  // degrades to the serial loop.
   Result<GraphSet> set =
-      GraphSet::Build(SelectPairs(pairs_, sub->pair_indices), builder);
+      GraphSet::Build(SelectPairs(pairs_, sub->pair_indices), builder,
+                      pool_.get());
   USTL_CHECK(set.ok());
   IncrementalOptions inc_options;
   inc_options.max_path_len = options_.max_path_len;
@@ -187,6 +221,20 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
                                                     inc_options);
 }
 
+void GroupingEngine::RefineBatch(const std::vector<SubGroup*>& candidates) {
+  // Disjoint structure groups: each task touches only its own SubGroup and
+  // shared const state (pairs_, options_, global_corpus_). Peek() is pulled
+  // into the task so the pivot searches — the expensive part — overlap too.
+  ParallelFor(pool_.get(), candidates.size(), [&](size_t i) {
+    SubGroup* sub = candidates[i];
+    Preprocess(sub);
+    sub->engine->Peek();
+  });
+  for (SubGroup* sub : candidates) {
+    if (!sub->engine->Peek().has_value()) sub->exhausted = true;
+  }
+}
+
 int GroupingEngine::SubHint(const SubGroup& sub) const {
   if (sub.exhausted) return 0;
   if (sub.engine == nullptr) {
@@ -200,10 +248,22 @@ int GroupingEngine::SubHint(const SubGroup& sub) const {
 std::optional<Group> GroupingEngine::Next() {
   // Lazy k-way merge over the disjoint structure groups: keep at most one
   // candidate group cached per sub-group, and refine (preprocess + peek)
-  // the sub-group with the highest hint until no unpeeked sub-group could
-  // beat the best cached candidate.
+  // sub-groups in descending-hint order until no unpeeked sub-group could
+  // reach the best cached candidate.
+  //
+  // The winner rule — largest cached group, ties to the lowest sub index,
+  // with refinement required for every unpeeked sub whose hint *reaches*
+  // (not exceeds) the best size — is path-independent: once no unpeeked
+  // sub can tie the best, every sub that could win or steal the tie has
+  // been peeked, so the returned group is the global (max size, min index)
+  // over alive sub-groups no matter which subs earlier calls happened to
+  // refine. That is what makes the group sequence bit-identical for any
+  // thread count and wave size.
   while (true) {
-    // Best cached candidate across sub-groups.
+    // Best cached candidate across sub-groups. Ties prefer the larger
+    // structure group (the sub the lazy hint order would have refined and
+    // returned first), then the lower sub index; both keys are static, so
+    // the choice never depends on which subs happen to be peeked.
     SubGroup* best_sub = nullptr;
     int best_size = 0;
     for (SubGroup& sub : subs_) {
@@ -216,27 +276,53 @@ std::optional<Group> GroupingEngine::Next() {
         continue;
       }
       int size = static_cast<int>(peek->members.size());
-      if (best_sub == nullptr || size > best_size) {
+      if (best_sub == nullptr || size > best_size ||
+          (size == best_size &&
+           sub.pair_indices.size() > best_sub->pair_indices.size())) {
         best_sub = &sub;
         best_size = size;
       }
     }
-    // Highest-hint sub-group without a cached candidate.
-    SubGroup* refine = nullptr;
-    int refine_hint = 0;
+    // Sub-groups without a cached candidate that could still change the
+    // winner and therefore need refinement: a higher hint could beat the
+    // best outright, and a hint equal to the best matters only when the
+    // sub's static tie-break key (larger structure group, then lower
+    // index) outranks the current best's.
+    std::vector<SubGroup*> candidates;
     for (SubGroup& sub : subs_) {
       if (sub.exhausted) continue;
       if (sub.engine != nullptr && sub.engine->HasPeeked()) continue;
-      int hint = SubHint(sub);
-      if (hint > refine_hint) {
-        refine = &sub;
-        refine_hint = hint;
+      const int hint = SubHint(sub);
+      if (hint < 1 || hint < best_size) continue;
+      if (best_sub != nullptr && hint == best_size) {
+        if (sub.pair_indices.size() < best_sub->pair_indices.size()) continue;
+        if (sub.pair_indices.size() == best_sub->pair_indices.size() &&
+            &sub > best_sub) {
+          continue;
+        }
       }
+      candidates.push_back(&sub);
     }
-    if (refine != nullptr && refine_hint > best_size) {
-      Preprocess(refine);
-      const std::optional<ReplacementGroup>& peek = refine->engine->Peek();
-      if (!peek.has_value()) refine->exhausted = true;
+    if (!candidates.empty()) {
+      // Highest hints first (stable: ties keep sub order). Refining in
+      // waves keeps the engine lazy — the first wave usually raises
+      // best_size enough to disqualify the remaining candidates.
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [this](SubGroup* a, SubGroup* b) {
+                         return SubHint(*a) > SubHint(*b);
+                       });
+      // A finite shared expansion budget makes preprocessing
+      // order-dependent (each engine receives what the previous ones
+      // left), so budgeted runs refine strictly one at a time, whatever
+      // the thread count.
+      const bool budgeted = options_.max_total_expansions !=
+                            std::numeric_limits<uint64_t>::max();
+      size_t wave = budgeted || pool_ == nullptr
+                        ? 1
+                        : static_cast<size_t>(pool_->num_threads());
+      if (wave > candidates.size()) wave = candidates.size();
+      candidates.resize(wave);
+      RefineBatch(candidates);
       continue;
     }
     if (best_sub == nullptr) return std::nullopt;

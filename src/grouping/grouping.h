@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph_builder.h"
 #include "graph/term_scorer.h"
 #include "grouping/group.h"
@@ -43,6 +44,18 @@ struct GroupingOptions {
   /// See IncrementalOptions::sample_size.
   size_t pivot_sample_size = 0;
   uint64_t pivot_sample_seed = 0x5eed;
+  /// Worker threads for graph construction and per-structure-group
+  /// preprocessing. 0 = hardware concurrency, 1 = fully serial (the
+  /// default). Structure groups are disjoint (Section 7.2), so they
+  /// parallelize without coordination; groups returned are bit-identical
+  /// for any thread count. Search *statistics* can differ between
+  /// num_threads == 1 and > 1: the multi-threaded engine refines every
+  /// structure group that could still win concurrently instead of one at a
+  /// time, so it may spend speculative expansions the lazy serial order
+  /// avoids. When max_total_expansions is finite the engine stays lazy and
+  /// serial regardless of this knob — a shared budget makes preprocessing
+  /// order-dependent.
+  int num_threads = 1;
 };
 
 /// Statistics of an upfront grouping run, for Figure 9.
@@ -93,11 +106,15 @@ class GroupingEngine {
   };
 
   void Preprocess(SubGroup* sub);
+  /// Preprocesses + peeks every candidate concurrently (they are disjoint;
+  /// no budget sharing happens when the total budget is unlimited).
+  void RefineBatch(const std::vector<SubGroup*>& candidates);
   int SubHint(const SubGroup& sub) const;
 
   std::vector<StringPair> pairs_;
   GroupingOptions options_;
   CorpusFrequency global_corpus_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running serially
   std::vector<SubGroup> subs_;
   IncrementalStats stats_;
 };

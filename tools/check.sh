@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verify: full configure + build + ctest, exactly the line
+# ROADMAP.md documents. CI runs this on every push; run it locally before
+# sending a PR.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
+cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)"

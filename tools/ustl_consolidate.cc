@@ -41,6 +41,7 @@ struct Args {
   std::string replay;
   std::string approve = "interactive";
   size_t budget = 100;
+  int threads = 1;
 };
 
 void Usage() {
@@ -53,7 +54,11 @@ void Usage() {
       "interactive)]\n"
       "                        [--log FILE] [--golden FILE]\n"
       "                        [--replay FILE]\n"
+      "                        [--threads N (default: 1; 0 = all cores)]\n"
       "\n"
+      "--threads parallelizes grouping (graph construction and structure-"
+      "group\npreprocessing); results are identical for any thread "
+      "count.\n"
       "--replay applies a previously saved transformation log (--log "
       "output)\ninstead of running verification; no questions are "
       "asked.\n");
@@ -137,6 +142,8 @@ int main(int argc, char** argv) {
       args.approve = next("--approve");
     } else if (std::strcmp(argv[i], "--budget") == 0) {
       args.budget = std::strtoull(next("--budget"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      args.threads = std::atoi(next("--threads"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -162,6 +169,7 @@ int main(int argc, char** argv) {
   FrameworkOptions options;
   options.budget_per_column = args.budget;
   options.skip_singletons = args.approve == "interactive";
+  options.grouping.num_threads = args.threads;
 
   ApproveAllOracle approve_all;
   InteractiveOracle interactive;

@@ -7,8 +7,10 @@
 // ISSN analog) and `value` (the attribute the paper standardizes).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/parallel.h"
 #include "datagen/generators.h"
 #include "io/csv.h"
 
@@ -21,13 +23,16 @@ struct Args {
   double scale = 0.3;
   uint64_t seed = 17;
   std::string out;
+  int threads = 1;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: ustl-generate [--dataset address|authorlist|"
                "journaltitle]\n"
-               "                     [--scale S] [--seed N] --out FILE\n");
+               "                     [--scale S] [--seed N]\n"
+               "                     [--threads N (default: 1; 0 = all "
+               "cores)] --out FILE\n");
 }
 
 }  // namespace
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
       args.seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out = next("--out");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      args.threads = std::atoi(next("--threads"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -94,7 +101,12 @@ int main(int argc, char** argv) {
       csv.table.AddRecord(cluster, {value});
     }
   }
-  Status status = WriteStringToFile(args.out, WriteClusteredCsv(csv));
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveThreadCount(args.threads) > 1) {
+    pool = std::make_unique<ThreadPool>(ResolveThreadCount(args.threads));
+  }
+  Status status =
+      WriteStringToFile(args.out, WriteClusteredCsv(csv, pool.get()));
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
