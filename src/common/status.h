@@ -153,6 +153,19 @@ class Result {
     }                                                                     \
   } while (false)
 
+/// Debug-only USTL_CHECK: compiled out under NDEBUG (the default Release
+/// config). Use it for invariant checks on hot paths — per-element bounds
+/// checks and whole-container scans (is_sorted and friends) — whose cost
+/// would otherwise ship in release builds. The condition is not evaluated
+/// when compiled out, so it must be side-effect free.
+#ifdef NDEBUG
+#define USTL_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define USTL_DCHECK(cond) USTL_CHECK(cond)
+#endif
+
 }  // namespace ustl
 
 #endif  // USTL_COMMON_STATUS_H_

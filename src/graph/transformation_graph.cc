@@ -13,12 +13,14 @@ TransformationGraph::TransformationGraph(std::string source,
 }
 
 const std::vector<GraphEdge>& TransformationGraph::edges_from(int from) const {
-  USTL_CHECK(from >= 1 && from <= num_nodes());
+  // Per-access bounds check on the hottest accessor in the codebase
+  // (every DFS move gather and index scan goes through here) — debug-only.
+  USTL_DCHECK(from >= 1 && from <= num_nodes());
   return adjacency_[from - 1];
 }
 
 void TransformationGraph::AddLabel(int from, int to, LabelId label) {
-  USTL_CHECK(from >= 1 && to > from && to <= num_nodes());
+  USTL_DCHECK(from >= 1 && to > from && to <= num_nodes());
   auto& edges = adjacency_[from - 1];
   auto it = std::lower_bound(
       edges.begin(), edges.end(), to,
@@ -35,7 +37,7 @@ void TransformationGraph::RemapLabels(const std::vector<LabelId>& remap) {
   for (auto& edges : adjacency_) {
     for (GraphEdge& edge : edges) {
       for (LabelId& label : edge.labels) {
-        USTL_CHECK(label < remap.size());
+        USTL_DCHECK(label < remap.size());
         label = remap[label];
       }
       std::sort(edge.labels.begin(), edge.labels.end());

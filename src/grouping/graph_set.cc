@@ -15,7 +15,12 @@ Result<GraphSet> GraphSet::Build(const std::vector<StringPair>& pairs,
       builder.BuildBatch(requests, pool);
   if (!graphs.ok()) return graphs.status();
   set.graphs_ = std::move(graphs).value();
-  set.index_ = InvertedIndex::Build(set.graphs_);
+  // The interner bounds every label id, so indexing skips its pre-sizing
+  // scan; the pool builds the label-range shards concurrently (the index
+  // is bit-identical to a serial build either way).
+  set.index_ = InvertedIndex::Build(
+      set.graphs_, pool, /*num_shards=*/0,
+      builder.interner() != nullptr ? builder.interner()->size() : 0);
   set.alive_.assign(set.graphs_.size(), 1);
   set.interner_ = builder.interner();
   return set;

@@ -109,8 +109,9 @@ std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
           graph_options.scorer = scorer.get();
         }
         GraphBuilder builder(graph_options, &interner);
-        // The pool also accelerates graph construction inside a partition;
-        // nested use from a worker thread runs inline.
+        // The pool also accelerates graph construction and the sharded
+        // index build inside a partition; nested use from a worker thread
+        // runs inline (single-shard).
         Result<GraphSet> set =
             GraphSet::Build(SelectPairs(pairs, indices), builder, pool.get());
         USTL_CHECK(set.ok());
@@ -192,9 +193,9 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
     graph_options.scorer = sub->scorer.get();
   }
   GraphBuilder builder(graph_options, sub->interner.get());
-  // The pool parallelizes graph construction within the group; when this
-  // Preprocess itself runs on a pool worker (RefineBatch), the nested call
-  // degrades to the serial loop.
+  // The pool parallelizes graph construction and index sharding within
+  // the group; when this Preprocess itself runs on a pool worker
+  // (RefineBatch), the nested calls degrade to the serial loop.
   Result<GraphSet> set =
       GraphSet::Build(SelectPairs(pairs_, sub->pair_indices), builder,
                       pool_.get());

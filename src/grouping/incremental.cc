@@ -51,12 +51,18 @@ void IncrementalEngine::InitUpperBounds() {
   // Lemma 6.2: every transformation path covers each position k of t, so
   // ub[k] = max inverted-list length among labels of edges covering k is an
   // upper bound, and Gup = min_k ub[k]. Computed in O(|t|^2) per graph via
-  // per-start-node suffix maxima.
-  std::vector<std::vector<int64_t>> suffix;  // reused across graphs
+  // per-start-node suffix maxima, in one flat row-major buffer reused
+  // across graphs (a vector-of-vectors here would allocate |t| rows per
+  // graph).
+  std::vector<int64_t> suffix;  // (m + 2) x (m + 3), row-major
   for (GraphId g = 0; g < set_.size(); ++g) {
     const TransformationGraph& graph = set_.graph(g);
     const int m = graph.num_nodes() - 1;  // |t|
-    suffix.assign(m + 2, std::vector<int64_t>(m + 3, 0));
+    const size_t stride = static_cast<size_t>(m) + 3;
+    suffix.assign(static_cast<size_t>(m + 2) * stride, 0);
+    const auto at = [&](int i, int j) -> int64_t& {
+      return suffix[static_cast<size_t>(i) * stride + j];
+    };
     for (int from = 1; from <= m; ++from) {
       for (const GraphEdge& edge : graph.edges_from(from)) {
         int64_t edge_max = 0;
@@ -64,17 +70,17 @@ void IncrementalEngine::InitUpperBounds() {
           edge_max = std::max(
               edge_max, static_cast<int64_t>(set_.index().ListLength(label)));
         }
-        suffix[from][edge.to] = std::max(suffix[from][edge.to], edge_max);
+        at(from, edge.to) = std::max(at(from, edge.to), edge_max);
       }
       for (int j = m; j >= from + 1; --j) {
-        suffix[from][j] = std::max(suffix[from][j], suffix[from][j + 1]);
+        at(from, j) = std::max(at(from, j), at(from, j + 1));
       }
     }
     int64_t gup = std::numeric_limits<int64_t>::max();
     for (int k = 1; k <= m; ++k) {
       int64_t ubk = 0;
       for (int i = 1; i <= k; ++i) {
-        ubk = std::max(ubk, suffix[i][k + 1]);
+        ubk = std::max(ubk, at(i, k + 1));
       }
       gup = std::min(gup, ubk);
     }

@@ -72,8 +72,14 @@ class PivotSearcher {
 
  private:
   struct DfsState;
-  void Dfs(GraphId g, int node, const PostingList& list, DfsState* state,
-           std::vector<int>* lower_bounds, uint64_t max_expansions) const;
+  /// One DFS expansion. `list` is the posting list of the current path
+  /// rho (living in the caller's scratch level), `list_distinct` its
+  /// distinct-graph count (fused out of the join that produced it, so it
+  /// is never recomputed), and `depth` == |rho| indexes the scratch
+  /// arena level this call's extensions are written into.
+  void Dfs(GraphId g, int node, const PostingList& list, size_t list_distinct,
+           size_t depth, DfsState* state, std::vector<int>* lower_bounds,
+           uint64_t max_expansions) const;
 
   const GraphSet* set_;
   Options options_;

@@ -177,6 +177,37 @@ TEST(ParallelDeterminismTest, BuildBatchMatchesSerialBuildBitForBit) {
   }
 }
 
+TEST(ParallelDeterminismTest, ShardedIndexBuildMatchesSerialBitForBit) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  ASSERT_GT(pairs.size(), 50u);
+  LabelInterner interner;
+  GraphBuilder builder(GraphBuilderOptions{}, &interner);
+  std::vector<TransformationGraph> graphs;
+  for (const StringPair& pair : pairs) {
+    graphs.push_back(std::move(builder.Build(pair.lhs, pair.rhs)).value());
+  }
+
+  InvertedIndex serial = InvertedIndex::Build(graphs);
+  ASSERT_GT(serial.NumLabels(), 100u);
+  ThreadPool pool(4);
+  for (size_t shards : {size_t{0}, size_t{2}, size_t{3}, size_t{8},
+                        size_t{64}}) {
+    SCOPED_TRACE(shards);
+    InvertedIndex sharded =
+        InvertedIndex::Build(graphs, &pool, shards, interner.size());
+    ASSERT_EQ(sharded.NumLabels(), serial.NumLabels());
+    for (LabelId label = 0; label < interner.size() + 2; ++label) {
+      const PostingList& a = serial.Find(label);
+      const PostingList& b = sharded.Find(label);
+      ASSERT_EQ(a.size(), b.size()) << "label " << label;
+      for (size_t k = 0; k < a.size(); ++k) {
+        ASSERT_EQ(a[k].bits(), b[k].bits()) << "label " << label << " #" << k;
+      }
+    }
+  }
+}
+
 // Drains a GroupingEngine configured with `threads` into a comparable
 // serialized form.
 std::vector<Group> DrainEngine(const std::vector<StringPair>& pairs,

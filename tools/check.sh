@@ -1,9 +1,21 @@
 #!/usr/bin/env sh
-# Tier-1 verify: full configure + build + ctest, exactly the line
-# ROADMAP.md documents. CI runs this on every push; run it locally before
-# sending a PR.
+# Tier-1 verify plus the Debug-config leg. The default build is Release
+# (-O2, NDEBUG): exactly the line ROADMAP.md documents. The second pass
+# builds with CMAKE_BUILD_TYPE=Debug (NDEBUG unset, -O2 still applied via
+# the global flags), which is the only configuration where the
+# USTL_DCHECK invariant scans run — CI exercises both, so run both
+# locally before sending a PR. Set USTL_CHECK_SKIP_DEBUG=1 to run only
+# the tier-1 Release pass.
 set -eu
 cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
 cmake -B build -S .
-cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
-cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)"
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then
+  cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-debug -j"$JOBS"
+  (cd build-debug && ctest --output-on-failure -j"$JOBS")
+fi
