@@ -15,6 +15,7 @@
 #include "datagen/generators.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "pipeline/oracle_broker.h"
 #include "wrangler/scripts.h"
 
 namespace ustl {
@@ -87,6 +88,10 @@ inline Trajectory RunBudgetTrajectory(const GeneratedDataset& data,
   Trajectory trajectory;
   trajectory.push_back(EvaluateIdentity(data.column, samples));
   SimulatedOracle oracle = MakeOracle(data);
+  // Questions flow through the pipeline subsystem's broker, like the CLI's
+  // batch path; verdicts are unchanged (order-independence contract), the
+  // oracle is just deduplicated.
+  OracleBroker broker(&oracle);
   FrameworkOptions options;
   options.budget_per_column = budget;
   options.grouping.graph.enable_affix = affix;
@@ -95,9 +100,9 @@ inline Trajectory RunBudgetTrajectory(const GeneratedDataset& data,
   };
   Column column = data.column;
   if (group_method) {
-    StandardizeColumn(&column, &oracle, options);
+    StandardizeColumn(&column, &broker, options);
   } else {
-    StandardizeColumnSingle(&column, &oracle, options);
+    StandardizeColumnSingle(&column, &broker, options);
   }
   // Pad to full budget (exhausted early = metrics freeze).
   while (trajectory.size() <= budget) trajectory.push_back(trajectory.back());

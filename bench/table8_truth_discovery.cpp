@@ -110,10 +110,11 @@ int main() {
     SourceAssignment sources = AssignSources(bench.data, source_options);
 
     SimulatedOracle oracle = MakeOracle(bench.data);
+    OracleBroker broker(&oracle);  // framework path: through the subsystem
     FrameworkOptions options;
     options.budget_per_column = bench.budget;
     Column column = bench.data.column;
-    StandardizeColumn(&column, &oracle, options);
+    StandardizeColumn(&column, &broker, options);
 
     for (FusionMethod m : methods) {
       before_rows[m].push_back(Fmt(

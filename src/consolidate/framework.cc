@@ -38,7 +38,11 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
     }
 
     ++result.groups_presented;
-    Verdict verdict = oracle->Verify(group_pairs);
+    QuestionContext context;
+    context.column = options.column_name;
+    context.program = group->program;
+    context.presented = result.groups_presented;
+    Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
 
     GroupTrace trace;
     trace.size = group->size();
@@ -95,7 +99,11 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
     }
     ++result.groups_presented;
     std::vector<StringPair> group_pairs = {store.pair(index)};
-    Verdict verdict = oracle->Verify(group_pairs);
+    // Single has no pivot program; the context only scopes the column.
+    QuestionContext context;
+    context.column = options.column_name;
+    context.presented = result.groups_presented;
+    Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
     GroupTrace trace;
     trace.size = 1;
     trace.approved = verdict.approved;
@@ -119,16 +127,8 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
   return result;
 }
 
-GoldenRecordRun GoldenRecordCreation(Table* table, VerificationOracle* oracle,
-                                     const FrameworkOptions& options) {
-  GoldenRecordRun run;
-  for (size_t col = 0; col < table->num_columns(); ++col) {
-    Column column = table->ExtractColumn(col);
-    run.per_column.push_back(StandardizeColumn(&column, oracle, options));
-    table->StoreColumn(col, column);
-  }
-  run.golden_records = MajorityConsensus(*table);
-  return run;
-}
+// GoldenRecordCreation is defined in pipeline/pipeline.cc: it routes
+// through the column scheduler, and the pipeline layer sits above this
+// one — defining it there keeps the dependency one-directional.
 
 }  // namespace ustl

@@ -55,7 +55,20 @@ struct FrameworkOptions {
   /// presented so far and the current column state. Lets the benchmark
   /// harnesses measure precision/recall/MCC as a function of the budget
   /// (x-axis of Figures 6-8) in a single pass. May be null.
+  ///
+  /// Thread-safety under column parallelism (pipeline/pipeline.h): the
+  /// pipeline serializes invocations — the callback is never entered
+  /// concurrently, so it may touch unsynchronized state — but calls from
+  /// *different columns* interleave in scheduling order. Per column the
+  /// presented counts are still strictly increasing; use the column
+  /// argument (or capture per-column state) to disambiguate, and don't
+  /// assume a deterministic global call order when columns run in
+  /// parallel.
   std::function<void(size_t, const Column&)> progress_callback;
+  /// Name of the column being standardized. Purely attributive: it scopes
+  /// the oracle QuestionContext so brokers can build per-column replay
+  /// logs. The pipeline fills it per job; empty is fine elsewhere.
+  std::string column_name;
 };
 
 /// One presented group, for reports and the examples.
@@ -89,7 +102,13 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
                                         const FrameworkOptions& options);
 
 /// Full Algorithm 1: standardize every column of the table with the same
-/// oracle/budget, then return MC golden records.
+/// oracle/budget, then return MC golden records. Routed through the
+/// column-parallel pipeline subsystem in its serial, cache-off
+/// configuration (and defined in pipeline/pipeline.cc, which this header
+/// must not include), so this entry point behaves exactly like the
+/// historical per-column loop; use RunConsolidationPipeline
+/// (pipeline/pipeline.h) directly for column parallelism, verdict caching
+/// and broker statistics.
 struct GoldenRecordRun {
   std::vector<ColumnRunResult> per_column;
   std::vector<GoldenRecord> golden_records;

@@ -4,13 +4,36 @@
 
 namespace ustl {
 
+uint64_t HashQuestion(const std::vector<StringPair>& group_pairs) {
+  // FNV-1a over length-prefixed fields: values may contain arbitrary
+  // bytes, so a separator byte would be ambiguous ({"a\x1f", "x"} vs
+  // {"a", "\x1fx"}); the length prefix makes every field boundary
+  // explicit, and {"ab",""} vs {"a","b"} hash differently too.
+  uint64_t h = 1469598103934665603ull;
+  auto fold = [&h](std::string_view s) {
+    uint64_t length = s.size();
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (length >> (8 * byte)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const StringPair& pair : group_pairs) {
+    fold(pair.lhs);
+    fold(pair.rhs);
+  }
+  return h;
+}
+
 SimulatedOracle::SimulatedOracle(VariantJudge variant_judge,
                                  DirectionJudge direction_judge,
                                  Options options)
     : variant_judge_(std::move(variant_judge)),
       direction_judge_(std::move(direction_judge)),
-      options_(options),
-      rng_(options.seed) {
+      options_(options) {
   USTL_CHECK(variant_judge_ != nullptr);
 }
 
@@ -19,11 +42,17 @@ Verdict SimulatedOracle::Verify(const std::vector<StringPair>& group_pairs) {
   Verdict verdict;
   if (group_pairs.empty()) return verdict;
 
+  // All randomness below is seeded from the question content: the sample
+  // of inspected pairs and the error flip are the same whenever this group
+  // is presented, in any order relative to other questions.
+  Rng rng(HashQuestion(group_pairs) ^
+          (options_.seed * 0x9e3779b97f4a7c15ull));
+
   // Inspect a deterministic sample of at most max_inspected pairs.
   std::vector<size_t> indices(group_pairs.size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   if (indices.size() > options_.max_inspected) {
-    rng_.Shuffle(&indices);
+    rng.Shuffle(&indices);
     indices.resize(options_.max_inspected);
   }
 
@@ -40,7 +69,7 @@ Verdict SimulatedOracle::Verify(const std::vector<StringPair>& group_pairs) {
   bool approved =
       static_cast<double>(genuine) >=
       options_.approve_threshold * static_cast<double>(indices.size());
-  if (options_.error_rate > 0.0 && rng_.Bernoulli(options_.error_rate)) {
+  if (options_.error_rate > 0.0 && rng.Bernoulli(options_.error_rate)) {
     approved = !approved;  // injected human mistake
   }
   verdict.approved = approved;

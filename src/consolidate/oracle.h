@@ -3,10 +3,21 @@
 // direction on approval; they are "not required to exhaustively check all
 // pairs" and may make occasional mistakes — the SimulatedOracle models both
 // via a sampled approval threshold and an injected error rate.
+//
+// Order-independence contract: a verdict must be a pure function of the
+// question content (the pair list presented). The column-parallel pipeline
+// (src/pipeline/) presents questions in a scheduling-dependent order and
+// caches verdicts by content, so any oracle whose answer depends on *when*
+// a question is asked would make results depend on thread timing.
+// SimulatedOracle honors the contract by seeding its sampling and
+// error-injection RNG from a hash of the question itself (plus the
+// configured seed) instead of drawing from one sequential stream — asking
+// the same question twice, or in any order, yields the same verdict.
 #ifndef USTL_CONSOLIDATE_ORACLE_H_
 #define USTL_CONSOLIDATE_ORACLE_H_
 
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -22,12 +33,43 @@ struct Verdict {
   ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
 };
 
-/// Interface the framework consults once per presented group.
+/// Side information about a presented group. Not part of the question the
+/// human answers (they only see the pairs) — it lets brokers and logs
+/// attribute verdicts: the pivot program is what a replay log persists and
+/// the column scopes it (see pipeline/oracle_broker.h). Both views may be
+/// empty (e.g. the Single baseline has no pivot program).
+struct QuestionContext {
+  std::string_view column;
+  std::string_view program;
+  /// 1-based presentation index within the column (0 = unknown). Lets a
+  /// broker order its replay log by presentation rank even when columns
+  /// share a name, independent of scheduling.
+  size_t presented = 0;
+};
+
+/// Interface the framework consults once per presented group. Callers
+/// serialize invocations (the column-parallel pipeline funnels all
+/// questions through one combiner thread at a time), so implementations
+/// need not be thread-safe.
 class VerificationOracle {
  public:
   virtual ~VerificationOracle() = default;
   virtual Verdict Verify(const std::vector<StringPair>& group_pairs) = 0;
+  /// Verify with attribution context. Default ignores the context; brokers
+  /// override it to key caches and build replay logs.
+  virtual Verdict VerifyWithContext(const std::vector<StringPair>& group_pairs,
+                                    const QuestionContext& context) {
+    (void)context;
+    return Verify(group_pairs);
+  }
 };
+
+/// Hash of a question's content (the pair list), used to derive
+/// SimulatedOracle's per-question RNG seeds (the broker's verdict cache
+/// keys by full content instead — see pipeline/oracle_broker.cc).
+/// FNV-1a over every lhs/rhs length-prefixed, so field boundaries are
+/// unambiguous for arbitrary byte content.
+uint64_t HashQuestion(const std::vector<StringPair>& group_pairs);
 
 /// A simulated expert backed by dataset ground truth.
 class SimulatedOracle : public VerificationOracle {
@@ -42,10 +84,15 @@ class SimulatedOracle : public VerificationOracle {
     /// Approve when at least this fraction of inspected pairs are genuine.
     double approve_threshold = 0.8;
     /// The human inspects at most this many pairs per group (sampled
-    /// deterministically from the seed), mirroring non-exhaustive checking.
+    /// deterministically from the question hash), mirroring non-exhaustive
+    /// checking.
     size_t max_inspected = 20;
     /// Probability of flipping a verdict (human mistakes; Section 3 claims
-    /// robustness to small numbers of errors, exercised in tests).
+    /// robustness to small numbers of errors, exercised in tests). Error
+    /// draws are a pure function of (seed, question), not a shared
+    /// sequential stream: the same group gets the same flip regardless of
+    /// how many questions preceded it — the order-independence contract
+    /// the column-parallel pipeline relies on.
     double error_rate = 0.0;
     uint64_t seed = 42;
   };
@@ -61,7 +108,6 @@ class SimulatedOracle : public VerificationOracle {
   VariantJudge variant_judge_;
   DirectionJudge direction_judge_;
   Options options_;
-  Rng rng_;
   size_t questions_asked_ = 0;
 };
 

@@ -1,0 +1,213 @@
+#include "pipeline/oracle_broker.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dsl/parser.h"
+
+namespace ustl {
+
+namespace {
+
+// Content key for the verdict cache: pivot program and the full pair
+// list, each field length-prefixed. Values may contain arbitrary bytes
+// (quoted CSV fields), so a separator convention would be ambiguous; the
+// prefix makes every field boundary explicit and no two distinct
+// questions share a key.
+std::string CacheKey(std::string_view program,
+                     const std::vector<StringPair>& pairs) {
+  std::string key;
+  size_t size = program.size() + 8;
+  for (const StringPair& pair : pairs) {
+    size += pair.lhs.size() + pair.rhs.size() + 16;
+  }
+  key.reserve(size);
+  auto field = [&key](std::string_view s) {
+    key += std::to_string(s.size());
+    key.push_back(':');
+    key.append(s);
+  };
+  field(program);
+  for (const StringPair& pair : pairs) {
+    field(pair.lhs);
+    field(pair.rhs);
+  }
+  return key;
+}
+
+}  // namespace
+
+OracleBroker::OracleBroker(VerificationOracle* backend)
+    : OracleBroker(backend, Options()) {}
+
+OracleBroker::OracleBroker(VerificationOracle* backend, Options options)
+    : backend_(backend), options_(options) {
+  USTL_CHECK(backend_ != nullptr);
+}
+
+Verdict OracleBroker::Verify(const std::vector<StringPair>& group_pairs) {
+  return VerifyWithContext(group_pairs, QuestionContext{});
+}
+
+Verdict OracleBroker::VerifyWithContext(
+    const std::vector<StringPair>& group_pairs,
+    const QuestionContext& context) {
+  Request request;
+  if (options_.cache_verdicts) {
+    request.key = CacheKey(context.program, group_pairs);
+  }
+  request.pairs = &group_pairs;
+  // The context's string_views stay valid: the requesting thread blocks
+  // until its request is served, keeping the viewed strings alive.
+  request.context = context;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.questions;
+  if (options_.cache_verdicts) {
+    auto it = cache_.find(request.key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      RecordVerdict(context, it->second);
+      return it->second;
+    }
+  }
+  queue_.push_back(&request);
+  if (draining_) {
+    // Another thread is combining; it will answer us (possibly from a
+    // same-key twin it serves first).
+    done_cv_.wait(lock, [&] { return request.done; });
+    if (request.error) std::rethrow_exception(request.error);
+    return request.verdict;
+  }
+
+  // Become the combiner: drain everything that queues up — including
+  // questions other columns enqueue while the backend is answering ours —
+  // before handing the role back.
+  draining_ = true;
+  std::vector<Request*> batch;
+  try {
+    while (!queue_.empty()) {
+      batch.clear();
+      batch.swap(queue_);
+      ++stats_.batches;
+      stats_.max_batch = std::max(stats_.max_batch, batch.size());
+      for (size_t next = 0; next < batch.size(); ++next) {
+        Request* pending = batch[next];
+        bool served = false;
+        if (options_.cache_verdicts) {
+          auto it = cache_.find(pending->key);
+          if (it != cache_.end()) {  // a same-key twin was served first
+            pending->verdict = it->second;
+            ++stats_.cache_hits;
+            served = true;
+          }
+        }
+        if (!served) {
+          // Drop the lock while the backend thinks so that other columns
+          // can keep enqueueing (that is what forms the next batch). The
+          // backend itself is still only ever called from the combiner.
+          lock.unlock();
+          Verdict verdict;
+          try {
+            verdict =
+                backend_->VerifyWithContext(*pending->pairs, pending->context);
+          } catch (...) {
+            lock.lock();
+            // Keep `pending` in the unserved set: erase the served prefix
+            // so the catch below fails it along with the rest.
+            batch.erase(batch.begin(),
+                        batch.begin() + static_cast<ptrdiff_t>(next));
+            throw;
+          }
+          lock.lock();
+          ++stats_.backend_calls;
+          if (options_.cache_verdicts) cache_.emplace(pending->key, verdict);
+          pending->verdict = verdict;
+        }
+        RecordVerdict(pending->context, pending->verdict);
+        pending->done = true;
+        // Wake waiters per answer, not per batch: a column whose question
+        // was served first should not stall behind the batch tail.
+        done_cv_.notify_all();
+      }
+    }
+  } catch (...) {
+    // Backend failure while holding the drain role (lock reacquired
+    // above): hand the exception to every unserved request — currently
+    // waiting threads rethrow it, so the failure surfaces in all blocked
+    // column jobs instead of hanging them — and give the role back.
+    std::exception_ptr error = std::current_exception();
+    for (Request* pending : batch) {
+      if (pending->done) continue;
+      pending->error = error;
+      pending->done = true;
+    }
+    for (Request* pending : queue_) {
+      pending->error = error;
+      pending->done = true;
+    }
+    queue_.clear();
+    draining_ = false;
+    done_cv_.notify_all();
+    throw;
+  }
+  draining_ = false;
+  return request.verdict;
+}
+
+void OracleBroker::RecordVerdict(const QuestionContext& context,
+                                 const Verdict& verdict) {
+  if (!verdict.approved || context.program.empty()) return;
+  LogKey key(std::string(context.column), std::string(context.program),
+             verdict.direction);
+  auto [it, inserted] = log_.emplace(std::move(key), context.presented);
+  if (!inserted && context.presented < it->second) {
+    it->second = context.presented;
+  }
+}
+
+OracleBrokerStats OracleBroker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<ApprovedTransformation> OracleBroker::ApprovedLog() const {
+  std::vector<std::pair<LogKey, size_t>> records;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records.assign(log_.begin(), log_.end());
+  }
+  // Per column, order entries by presentation rank: the session approved
+  // big groups first, and a replay must re-apply them first to reproduce
+  // the session's tie-breaks. Rank ties (possible only across same-named
+  // columns) fall back to the key, so the log is deterministic either
+  // way.
+  std::sort(records.begin(), records.end(),
+            [](const std::pair<LogKey, size_t>& a,
+               const std::pair<LogKey, size_t>& b) {
+              const std::string& a_column = std::get<0>(a.first);
+              const std::string& b_column = std::get<0>(b.first);
+              if (a_column != b_column) return a_column < b_column;
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  std::vector<ApprovedTransformation> out;
+  out.reserve(records.size());
+  for (const auto& [key, rank] : records) {
+    (void)rank;
+    Result<Program> program = ParseProgram(std::get<1>(key));
+    if (!program.ok()) continue;  // display-only program; skip
+    ApprovedTransformation transformation;
+    transformation.column = std::get<0>(key);
+    transformation.program = std::move(program).value();
+    transformation.direction = std::get<2>(key);
+    out.push_back(std::move(transformation));
+  }
+  return out;
+}
+
+std::string OracleBroker::SerializeApprovedLog() const {
+  return SerializeTransformationLog(ApprovedLog());
+}
+
+}  // namespace ustl

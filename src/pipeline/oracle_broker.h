@@ -1,0 +1,125 @@
+// A broker that sits between the consolidation framework and any
+// VerificationOracle. Column jobs running concurrently on the scheduler
+// (pipeline.h) all funnel their questions through one broker, which
+//
+//   * deduplicates: verdicts are cached by question content — the pivot
+//     program plus the presented pair list — so a group that shows up in
+//     several columns (or again after a replay) costs one oracle call;
+//   * batches: questions arriving while another thread is talking to the
+//     oracle queue up and are drained by that thread in one combining
+//     sweep (flat combining), so the backend sees bursts of cross-column
+//     questions instead of interleaved single calls and is never invoked
+//     concurrently;
+//   * logs: every approved verdict with a parseable pivot program is
+//     recorded as an ApprovedTransformation. The log is deduplicated and
+//     grouped by column (keeping each column's presentation order), so it
+//     is byte-identical no matter how the scheduler interleaved the
+//     columns — deterministic replay through src/consolidate/replay.h.
+//
+// Correctness under reordering relies on the oracle order-independence
+// contract (consolidate/oracle.h): a cached verdict equals the verdict a
+// fresh call would return, so caching and batching change only *how many*
+// questions the backend sees, never a single output byte.
+#ifndef USTL_PIPELINE_ORACLE_BROKER_H_
+#define USTL_PIPELINE_ORACLE_BROKER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "consolidate/oracle.h"
+#include "consolidate/replay.h"
+
+namespace ustl {
+
+/// Counters for the bench harnesses and the CLI summary. `questions` is
+/// what the framework asked, `backend_calls` what the human actually
+/// answered; the gap is `cache_hits`. A batch is one combining sweep; in a
+/// serial run every batch has size 1.
+struct OracleBrokerStats {
+  size_t questions = 0;
+  size_t backend_calls = 0;
+  size_t cache_hits = 0;
+  size_t batches = 0;
+  size_t max_batch = 0;
+};
+
+class OracleBroker : public VerificationOracle {
+ public:
+  struct Options {
+    /// Cache verdicts by question content. Off = every question reaches
+    /// the backend (the broker still batches and still builds the log).
+    bool cache_verdicts = true;
+  };
+
+  /// `backend` must outlive the broker. The broker serializes all calls
+  /// into it, so the backend need not be thread-safe.
+  explicit OracleBroker(VerificationOracle* backend);
+  OracleBroker(VerificationOracle* backend, Options options);
+
+  /// Context-free entry (VerificationOracle interface): cache key is the
+  /// pair list alone and nothing is logged (no program to persist).
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override;
+
+  /// The framework's entry: context supplies the pivot program (cache key
+  /// component + replay-log payload) and the column name (log scope).
+  Verdict VerifyWithContext(const std::vector<StringPair>& group_pairs,
+                            const QuestionContext& context) override;
+
+  OracleBrokerStats stats() const;
+
+  /// The approved transformations seen so far, deduplicated and grouped
+  /// by column with each column's entries in its presentation order
+  /// (largest group first — replaying in that order reproduces the live
+  /// session's tie-breaks); entries whose program does not parse
+  /// (display-only programs, context-free questions) are dropped. Feed to
+  /// SerializeTransformationLog / ReplayTransformations (replay.h).
+  std::vector<ApprovedTransformation> ApprovedLog() const;
+
+  /// ApprovedLog() in the replay.h text form.
+  std::string SerializeApprovedLog() const;
+
+ private:
+  struct Request {
+    std::string key;
+    const std::vector<StringPair>* pairs = nullptr;
+    QuestionContext context;
+    Verdict verdict;
+    bool done = false;
+    /// Set when the combiner failed before answering this request (the
+    /// backend threw); the waiting thread rethrows it.
+    std::exception_ptr error;
+  };
+  /// Log key: one entry per distinct approved (column, program,
+  /// direction) — replay.h semantics, where the column *name* scopes a
+  /// transformation.
+  using LogKey = std::tuple<std::string, std::string, ReplaceDirection>;
+
+  /// Requires mutex_. Records an approved verdict for the log.
+  void RecordVerdict(const QuestionContext& context, const Verdict& verdict);
+
+  VerificationOracle* backend_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::unordered_map<std::string, Verdict> cache_;
+  std::vector<Request*> queue_;
+  bool draining_ = false;
+  OracleBrokerStats stats_;
+  /// Approved records, deduplicated at insert; the mapped value is the
+  /// best (lowest) presentation rank the entry was ever approved at.
+  /// Scheduling decides only *when* a record is inserted — the key set
+  /// and the min rank are schedule-independent, which is what makes
+  /// ApprovedLog deterministic (even when columns share a name).
+  std::map<LogKey, size_t> log_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_PIPELINE_ORACLE_BROKER_H_

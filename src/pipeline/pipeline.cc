@@ -1,0 +1,137 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "common/parallel.h"
+#include "consolidate/truth_discovery.h"
+
+namespace ustl {
+
+ColumnScheduler::ColumnScheduler(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+PipelineRun ColumnScheduler::Run(Table* table,
+                                 VerificationOracle* backend) const {
+  const size_t num_columns = table->num_columns();
+  const int budget = ResolveThreadCount(options_.num_threads);
+  const int scheduler_threads =
+      options_.column_parallel && num_columns > 1
+          ? static_cast<int>(std::min<size_t>(
+                static_cast<size_t>(budget), num_columns))
+          : 1;
+  // Budget split with the remainder spread over the lowest column
+  // indices: any scheduler_threads jobs running concurrently include at
+  // most (budget % scheduler_threads) boosted ones, so the concurrent
+  // grouping threads never exceed the budget — and none of it idles.
+  const int per_column_base = std::max(1, budget / scheduler_threads);
+  const size_t per_column_boosted =
+      budget > scheduler_threads
+          ? static_cast<size_t>(budget % scheduler_threads)
+          : 0;
+
+  OracleBroker broker(backend, options_.broker);
+
+  // Serialize progress callbacks: column jobs fire them concurrently, but
+  // the user-supplied callback only ever runs in one thread at a time.
+  std::mutex progress_mutex;
+  const bool wrap_progress =
+      scheduler_threads > 1 && options_.framework.progress_callback != nullptr;
+
+  std::vector<Column> columns(num_columns);
+  std::vector<ColumnRunResult> results(num_columns);
+  for (size_t col = 0; col < num_columns; ++col) {
+    columns[col] = table->ExtractColumn(col);
+  }
+
+  auto job = [&](size_t col) {
+    FrameworkOptions framework = options_.framework;
+    framework.column_name = table->column_names()[col];
+    framework.grouping.num_threads =
+        per_column_base + (col < per_column_boosted ? 1 : 0);
+    if (wrap_progress) {
+      auto callback = options_.framework.progress_callback;
+      framework.progress_callback = [&progress_mutex, callback](
+                                        size_t presented,
+                                        const Column& column) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        callback(presented, column);
+      };
+    }
+    results[col] = StandardizeColumn(&columns[col], &broker, framework);
+  };
+
+  if (scheduler_threads > 1) {
+    ThreadPool pool(scheduler_threads);
+    ParallelFor(&pool, num_columns, job);
+  } else {
+    for (size_t col = 0; col < num_columns; ++col) job(col);
+  }
+
+  // Commit in column index order — the only table mutation point.
+  for (size_t col = 0; col < num_columns; ++col) {
+    table->StoreColumn(col, columns[col]);
+  }
+
+  PipelineRun run;
+  run.per_column = std::move(results);
+  run.golden_records = MajorityConsensus(*table);
+  run.oracle_stats = broker.stats();
+  run.approved_log = broker.ApprovedLog();
+  return run;
+}
+
+PipelineRun RunConsolidationPipeline(Table* table,
+                                     VerificationOracle* backend,
+                                     const PipelineOptions& options) {
+  return ColumnScheduler(options).Run(table, backend);
+}
+
+std::string FingerprintConsolidation(const Table& table,
+                                     const std::vector<GoldenRecord>& golden) {
+  // Length-free field/record separators are fine here: the fingerprint
+  // only ever compares equal-shaped outputs of the same input table.
+  std::string out;
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    for (const auto& record : table.cluster(c)) {
+      for (const std::string& value : record) {
+        out += value;
+        out += '\x1f';
+      }
+      out += '\x1e';
+    }
+    out += '\n';
+  }
+  for (const GoldenRecord& record : golden) {
+    for (const auto& value : record) {
+      out += value.value_or("<none>");
+      out += '\x1f';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// Declared in consolidate/framework.h; defined here so the consolidate
+// layer never includes pipeline headers (the dependency stays
+// pipeline -> consolidate only).
+GoldenRecordRun GoldenRecordCreation(Table* table, VerificationOracle* oracle,
+                                     const FrameworkOptions& options) {
+  // Serial, cache-off pipeline configuration: the backend sees exactly the
+  // question sequence the historical per-column loop produced, for any
+  // oracle — including stateful ones that predate the order-independence
+  // contract.
+  PipelineOptions pipeline;
+  pipeline.framework = options;
+  pipeline.column_parallel = false;
+  pipeline.num_threads = options.grouping.num_threads;
+  pipeline.broker.cache_verdicts = false;
+  PipelineRun run = RunConsolidationPipeline(table, oracle, pipeline);
+  GoldenRecordRun out;
+  out.per_column = std::move(run.per_column);
+  out.golden_records = std::move(run.golden_records);
+  return out;
+}
+
+}  // namespace ustl

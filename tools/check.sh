@@ -14,6 +14,24 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
+# Column-parallel byte-compare smoke: a 3-column replicated table must
+# standardize to byte-identical CSVs for the serial run, the
+# column-parallel run and the cache-off run (the pipeline determinism
+# contract, ISSUE 3 acceptance).
+./build/ustl-generate --dataset address --scale 0.05 --columns 3 \
+  --out build/smoke_columns.csv
+./build/ustl-consolidate --input build/smoke_columns.csv \
+  --output build/smoke_serial.csv --approve all --budget 40
+./build/ustl-consolidate --input build/smoke_columns.csv \
+  --output build/smoke_parallel.csv --approve all --budget 40 \
+  --column-parallel --threads 4
+./build/ustl-consolidate --input build/smoke_columns.csv \
+  --output build/smoke_nocache.csv --approve all --budget 40 \
+  --oracle-cache off
+cmp build/smoke_serial.csv build/smoke_parallel.csv
+cmp build/smoke_serial.csv build/smoke_nocache.csv
+echo "column-parallel smoke: byte-identical"
+
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then
   cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-debug -j"$JOBS"

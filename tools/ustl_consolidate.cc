@@ -25,8 +25,8 @@
 #include "consolidate/oracle.h"
 #include "consolidate/replay.h"
 #include "consolidate/truth_discovery.h"
-#include "dsl/parser.h"
 #include "io/csv.h"
+#include "pipeline/pipeline.h"
 
 namespace {
 
@@ -40,8 +40,10 @@ struct Args {
   std::string log;
   std::string replay;
   std::string approve = "interactive";
+  std::string oracle_cache = "on";
   size_t budget = 100;
   int threads = 1;
+  bool column_parallel = false;
 };
 
 void Usage() {
@@ -55,10 +57,19 @@ void Usage() {
       "                        [--log FILE] [--golden FILE]\n"
       "                        [--replay FILE]\n"
       "                        [--threads N (default: 1; 0 = all cores)]\n"
+      "                        [--column-parallel]\n"
+      "                        [--oracle-cache on|off (default: on)]\n"
       "\n"
       "--threads parallelizes grouping (graph construction and structure-"
       "group\npreprocessing); results are identical for any thread "
       "count.\n"
+      "--column-parallel standardizes all columns concurrently on the "
+      "thread\nbudget (pipeline subsystem); output stays byte-identical. "
+      "Requires\n--approve all (a human can't answer interleaved "
+      "prompts).\n"
+      "--oracle-cache dedups repeated questions across columns by "
+      "content;\nverdicts are unchanged, the oracle is just asked "
+      "less.\n"
       "--replay applies a previously saved transformation log (--log "
       "output)\ninstead of running verification; no questions are "
       "asked.\n");
@@ -69,6 +80,10 @@ void Usage() {
 class InteractiveOracle : public VerificationOracle {
  public:
   Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+    // After 'q' the column still drains its remaining groups (the
+    // framework checks no quit flag); answer them silently as rejections
+    // instead of re-prompting a user who already asked to stop.
+    if (quit_) return Verdict{};
     std::printf("\ngroup of %zu replacement(s):\n", group_pairs.size());
     const size_t show = group_pairs.size() < 5 ? group_pairs.size() : 5;
     for (size_t i = 0; i < show; ++i) {
@@ -144,6 +159,10 @@ int main(int argc, char** argv) {
       args.budget = std::strtoull(next("--budget"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       args.threads = std::atoi(next("--threads"));
+    } else if (std::strcmp(argv[i], "--column-parallel") == 0) {
+      args.column_parallel = true;
+    } else if (std::strcmp(argv[i], "--oracle-cache") == 0) {
+      args.oracle_cache = next("--oracle-cache");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -151,9 +170,17 @@ int main(int argc, char** argv) {
     }
   }
   if (args.input.empty() || args.output.empty() ||
-      (args.approve != "all" && args.approve != "interactive")) {
+      (args.approve != "all" && args.approve != "interactive") ||
+      (args.oracle_cache != "on" && args.oracle_cache != "off")) {
     Usage();
     return 2;
+  }
+  if (args.column_parallel && args.approve == "interactive") {
+    std::fprintf(stderr,
+                 "--column-parallel needs --approve all; interactive "
+                 "prompts from\nconcurrent columns would interleave. "
+                 "Running columns serially.\n");
+    args.column_parallel = false;
   }
 
   Result<std::string> content = ReadFileToString(args.input);
@@ -184,34 +211,52 @@ int main(int argc, char** argv) {
     total_edits = ReplayTransformations(&table, *transformations);
     std::printf("replayed %zu transformation(s)\n",
                 transformations->size());
+  } else if (args.approve == "all") {
+    // Batch path: the pipeline subsystem fans columns out over the thread
+    // budget (when asked) and brokers every question — cache, batching
+    // and the replay log come from one place.
+    PipelineOptions pipeline;
+    pipeline.framework = options;
+    pipeline.column_parallel = args.column_parallel;
+    pipeline.num_threads = args.threads;
+    pipeline.broker.cache_verdicts = args.oracle_cache == "on";
+    PipelineRun run = RunConsolidationPipeline(&table, &approve_all,
+                                               pipeline);
+    for (size_t col = 0; col < table.num_columns(); ++col) {
+      const ColumnRunResult& result = run.per_column[col];
+      total_edits += result.edits;
+      std::printf("column '%s': presented %zu group(s), approved %zu, "
+                  "%zu cell edit(s)\n",
+                  table.column_names()[col].c_str(),
+                  result.groups_presented, result.groups_approved,
+                  result.edits);
+    }
+    std::printf("oracle: %zu question(s), %zu reached the oracle, %zu "
+                "cache hit(s), largest batch %zu\n",
+                run.oracle_stats.questions, run.oracle_stats.backend_calls,
+                run.oracle_stats.cache_hits, run.oracle_stats.max_batch);
+    approved = std::move(run.approved_log);
   } else {
+    // Interactive columns stay serial, but still go through a broker: the
+    // human never answers the same question twice when the cache is on.
+    OracleBroker::Options broker_options;
+    broker_options.cache_verdicts = args.oracle_cache == "on";
+    OracleBroker broker(&interactive, broker_options);
     for (size_t col = 0; col < table.num_columns(); ++col) {
       std::printf("=== column '%s' ===\n",
                   table.column_names()[col].c_str());
+      options.column_name = table.column_names()[col];
       Column column = table.ExtractColumn(col);
-      VerificationOracle* oracle =
-          args.approve == "all"
-              ? static_cast<VerificationOracle*>(&approve_all)
-              : &interactive;
-      ColumnRunResult result = StandardizeColumn(&column, oracle, options);
+      ColumnRunResult result = StandardizeColumn(&column, &broker, options);
       table.StoreColumn(col, column);
       total_edits += result.edits;
       std::printf("presented %zu group(s), approved %zu, %zu cell "
                   "edit(s)\n",
                   result.groups_presented, result.groups_approved,
                   result.edits);
-      for (const GroupTrace& trace : result.trace) {
-        if (!trace.approved) continue;
-        Result<Program> program = ParseProgram(trace.program);
-        if (!program.ok()) continue;  // display-only program; skip
-        ApprovedTransformation transformation;
-        transformation.column = table.column_names()[col];
-        transformation.program = std::move(program).value();
-        transformation.direction = trace.direction;
-        approved.push_back(std::move(transformation));
-      }
-      if (args.approve == "interactive" && interactive.quit()) break;
+      if (interactive.quit()) break;
     }
+    approved = broker.ApprovedLog();
   }
 
   Status status = WriteStringToFile(args.output,

@@ -24,6 +24,7 @@ struct Args {
   uint64_t seed = 17;
   std::string out;
   int threads = 1;
+  size_t columns = 1;
 };
 
 void Usage() {
@@ -31,8 +32,15 @@ void Usage() {
                "usage: ustl-generate [--dataset address|authorlist|"
                "journaltitle]\n"
                "                     [--scale S] [--seed N]\n"
+               "                     [--columns N (default: 1)]\n"
                "                     [--threads N (default: 1; 0 = all "
-               "cores)] --out FILE\n");
+               "cores)] --out FILE\n"
+               "\n"
+               "--columns N replicates the generated attribute into N "
+               "columns\n(value1..valueN), producing a multi-column table "
+               "whose columns pose\nidentical verification questions — "
+               "the workload that exercises the\nconsolidation pipeline's "
+               "column scheduler and oracle cache.\n");
 }
 
 }  // namespace
@@ -58,13 +66,18 @@ int main(int argc, char** argv) {
       args.out = next("--out");
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       args.threads = std::atoi(next("--threads"));
+    } else if (std::strcmp(argv[i], "--columns") == 0) {
+      args.columns = std::strtoull(next("--columns"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
       return 2;
     }
   }
-  if (args.out.empty() || args.scale <= 0) {
+  // The upper bound also catches negative inputs wrapped by strtoull.
+  if (args.out.empty() || args.scale <= 0 || args.columns == 0 ||
+      args.columns > 1024) {
+    std::fprintf(stderr, "--columns must be in [1, 1024]\n");
     Usage();
     return 2;
   }
@@ -93,12 +106,21 @@ int main(int argc, char** argv) {
 
   ClusteredCsv csv;
   csv.cluster_column = "cluster";
-  csv.table = Table({"value"});
+  std::vector<std::string> column_names;
+  if (args.columns == 1) {
+    column_names.push_back("value");
+  } else {
+    for (size_t i = 1; i <= args.columns; ++i) {
+      column_names.push_back("value" + std::to_string(i));
+    }
+  }
+  csv.table = Table(column_names);
   for (size_t c = 0; c < data.column.size(); ++c) {
     size_t cluster = csv.table.AddCluster();
     csv.cluster_keys.push_back("c" + std::to_string(c));
     for (const std::string& value : data.column[c]) {
-      csv.table.AddRecord(cluster, {value});
+      csv.table.AddRecord(cluster,
+                          std::vector<std::string>(args.columns, value));
     }
   }
   std::unique_ptr<ThreadPool> pool;
