@@ -6,6 +6,7 @@
 #ifndef USTL_GROUPING_GRAPH_SET_H_
 #define USTL_GROUPING_GRAPH_SET_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -42,8 +43,19 @@ class GraphSet {
 
   bool alive(GraphId g) const { return alive_[g] != 0; }
   const std::vector<char>& alive_vector() const { return alive_; }
-  void Kill(GraphId g) { alive_[g] = 0; }
+  void Kill(GraphId g) {
+    if (alive_[g] == 0) return;
+    alive_[g] = 0;
+    ++kill_epoch_;
+  }
   size_t AliveCount() const;
+
+  /// Monotone counter bumped on every alive -> dead transition. Kills are
+  /// permanent, so anything computed over the alive set (a cached pivot
+  /// search, say) stays valid while the epoch is unchanged and needs
+  /// revalidation only against graphs killed since — the incremental
+  /// engine's cross-round search cache keys its invalidation on this.
+  uint64_t kill_epoch() const { return kill_epoch_; }
 
  private:
   GraphSet() = default;
@@ -51,6 +63,7 @@ class GraphSet {
   std::vector<TransformationGraph> graphs_;
   InvertedIndex index_;
   std::vector<char> alive_;
+  uint64_t kill_epoch_ = 0;
   const LabelInterner* interner_ = nullptr;
 };
 

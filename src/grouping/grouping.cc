@@ -120,8 +120,12 @@ std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
         oneshot.early_termination = early_termination;
         oneshot.max_path_len = options.max_path_len;
         oneshot.max_expansions = max_expansions;
+        // The pool also wave-parallelizes the pivot searches inside the
+        // partition; when this task itself landed on a pool worker the
+        // nested fan-out degrades to the serial scan, with identical
+        // groups either way.
         std::vector<ReplacementGroup> local =
-            UnsupervisedGrouping(*set, oneshot, &out.stats);
+            UnsupervisedGrouping(*set, oneshot, &out.stats, pool.get());
         for (ReplacementGroup& rg : local) {
           Group group;
           group.pivot = std::move(rg.pivot);
@@ -205,6 +209,7 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
   inc_options.max_expansions_per_search = options_.max_expansions_per_search;
   inc_options.sample_size = options_.pivot_sample_size;
   inc_options.sample_seed = options_.pivot_sample_seed;
+  inc_options.reuse_search_results = options_.reuse_search_results;
   // The expansion budget is shared across structure groups: hand each
   // newly preprocessed engine whatever is left.
   if (options_.max_total_expansions !=
@@ -218,8 +223,11 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
             ? options_.max_total_expansions - spent
             : 0;
   }
+  // The engine borrows the pool for its exact-mode wave scan; when its
+  // Peek runs on a pool worker (RefineBatch fanning several sub-groups
+  // out) the waves degrade to the serial scan instead of nesting.
   sub->engine = std::make_unique<IncrementalEngine>(std::move(set).value(),
-                                                    inc_options);
+                                                    inc_options, pool_.get());
 }
 
 void GroupingEngine::RefineBatch(const std::vector<SubGroup*>& candidates) {
@@ -343,13 +351,14 @@ std::optional<Group> GroupingEngine::Next() {
                     pairs_[group.member_pair_indices[0]], &group);
     }
     best_sub->engine->ConsumePeeked();
-    stats_.expansions = 0;
-    stats_.searches = 0;
-    stats_.truncated = false;
+    stats_ = IncrementalStats{};
     for (const SubGroup& sub : subs_) {
       if (sub.engine != nullptr) {
         stats_.expansions += sub.engine->stats().expansions;
         stats_.searches += sub.engine->stats().searches;
+        stats_.cache_hits += sub.engine->stats().cache_hits;
+        stats_.speculative_searches +=
+            sub.engine->stats().speculative_searches;
         stats_.truncated |= sub.engine->stats().truncated;
       }
     }

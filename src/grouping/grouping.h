@@ -44,17 +44,25 @@ struct GroupingOptions {
   /// See IncrementalOptions::sample_size.
   size_t pivot_sample_size = 0;
   uint64_t pivot_sample_seed = 0x5eed;
-  /// Worker threads for graph construction and per-structure-group
-  /// preprocessing. 0 = hardware concurrency, 1 = fully serial (the
-  /// default). Structure groups are disjoint (Section 7.2), so they
-  /// parallelize without coordination; groups returned are bit-identical
-  /// for any thread count. Search *statistics* can differ between
-  /// num_threads == 1 and > 1: the multi-threaded engine refines every
-  /// structure group that could still win concurrently instead of one at a
-  /// time, so it may spend speculative expansions the lazy serial order
-  /// avoids. When max_total_expansions is finite the engine stays lazy and
-  /// serial regardless of this knob — a shared budget makes preprocessing
-  /// order-dependent.
+  /// Cross-round pivot-search reuse inside the incremental engines (see
+  /// IncrementalOptions::reuse_search_results): a search result stays
+  /// exact across consumed groups until one of its members is killed, so
+  /// later rounds re-search only the graphs the last consume dirtied.
+  /// Groups are byte-identical with this on or off; off only repeats
+  /// searches. Ignored under sampling or finite expansion budgets.
+  bool reuse_search_results = true;
+  /// Worker threads for graph construction, per-structure-group
+  /// preprocessing AND the pivot searches inside one structure group
+  /// (wave scan, see oneshot.h / incremental.h). 0 = hardware
+  /// concurrency, 1 = fully serial (the default). Structure groups are
+  /// disjoint (Section 7.2) and the in-group wave scans replay the serial
+  /// update rules, so groups returned are bit-identical for any thread
+  /// count. Search *statistics* can differ between num_threads == 1 and
+  /// > 1 (and, for > 1, between runs): concurrent refinement and wave
+  /// speculation spend expansions the lazy serial order avoids, and how
+  /// many depends on scheduling. When max_total_expansions is finite the
+  /// engine stays lazy and serial regardless of this knob — a shared
+  /// budget makes preprocessing order-dependent.
   int num_threads = 1;
 };
 

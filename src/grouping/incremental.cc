@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/random.h"
 
@@ -17,14 +18,19 @@ PivotSearcher::Options SearcherOptions(const IncrementalOptions& options) {
   return out;
 }
 
+constexpr uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
+
 }  // namespace
 
-IncrementalEngine::IncrementalEngine(GraphSet set, IncrementalOptions options)
+IncrementalEngine::IncrementalEngine(GraphSet set, IncrementalOptions options,
+                                     ThreadPool* pool)
     : set_(std::move(set)),
       options_(options),
+      pool_(pool),
       searcher_(&set_, SearcherOptions(options)),
       lower_bounds_(set_.size(), 1),
-      upper_bounds_(set_.size(), 0) {
+      upper_bounds_(set_.size(), 0),
+      search_cache_(set_.size()) {
   InitUpperBounds();
   if (options_.sample_size > 0) {
     sample_order_.resize(set_.size());
@@ -91,33 +97,45 @@ void IncrementalEngine::InitUpperBounds() {
   }
 }
 
-void IncrementalEngine::FillPeek() {
-  if (peeked_) return;
-  peeked_ = true;
-  peek_.reset();
-
-  std::vector<GraphId> order;
-  order.reserve(set_.size());
-  int tau = 0;  // largest lower bound among alive graphs (Algorithm 7 line 2)
-  for (GraphId g = 0; g < set_.size(); ++g) {
-    if (!set_.alive(g)) continue;
-    order.push_back(g);
-    tau = std::max(tau, lower_bounds_[g]);
-  }
-  if (order.empty()) return;
-
-  std::stable_sort(order.begin(), order.end(), [&](GraphId a, GraphId b) {
-    if (upper_bounds_[a] != upper_bounds_[b]) {
-      return upper_bounds_[a] > upper_bounds_[b];
+bool IncrementalEngine::CacheLookup(GraphId g,
+                                    PivotSearcher::SearchResult* out) {
+  std::optional<CachedSearch>& entry = search_cache_[g];
+  if (!entry.has_value()) return false;
+  if (entry->validated_epoch != set_.kill_epoch()) {
+    // Kills happened since the last validation: the pivot stays exact iff
+    // every member survived (counts can only shrink, and only a member
+    // kill shrinks THIS path's count below every earlier-enumerated
+    // alternative's old ceiling — see the header).
+    for (GraphId member : entry->members) {
+      if (!set_.alive(member)) {
+        entry.reset();
+        return false;
+      }
     }
-    return a < b;
-  });
+    entry->validated_epoch = set_.kill_epoch();
+  }
+  out->found = true;
+  out->path = entry->path;
+  out->members = entry->members;
+  out->count = entry->count;
+  out->expansions = 0;
+  out->truncated = false;
+  return true;
+}
 
-  // Accept only groups of size >= tau, i.e. strictly greater than tau - 1
-  // (the off-by-one fix described in the header).
-  const bool sampling = RefreshSampleMask();
-  int best_count = tau - 1;
-  PivotSearcher::SearchResult best;
+void IncrementalEngine::CacheStore(GraphId g,
+                                   const PivotSearcher::SearchResult& result) {
+  CachedSearch entry;
+  entry.path = result.path;
+  entry.members = result.members;
+  entry.count = result.count;
+  entry.validated_epoch = set_.kill_epoch();
+  search_cache_[g] = std::move(entry);
+}
+
+void IncrementalEngine::SerialScan(const std::vector<GraphId>& order,
+                                   bool sampling, int best_count,
+                                   PivotSearcher::SearchResult* best) {
   for (GraphId g : order) {
     // Sampled counts never exceed full counts, so the full-unit upper
     // bounds remain sound against a sample-unit best_count.
@@ -146,12 +164,199 @@ void IncrementalEngine::FillPeek() {
       lower_bounds_[g] = std::max(lower_bounds_[g], result.count);
       upper_bounds_[g] = result.count;
       best_count = result.count;
-      best = std::move(result);
+      *best = std::move(result);
     } else {
       // The pivot of g cannot be shared by more than best_count graphs
       // (of the sample, when sampling).
       upper_bounds_[g] = best_count;
     }
+  }
+}
+
+void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
+                                 int best_count,
+                                 PivotSearcher::SearchResult* best) {
+  const bool reuse = options_.reuse_search_results;
+  const size_t max_wave = pool_ != nullptr && !pool_->InWorkerThread()
+                              ? static_cast<size_t>(pool_->num_threads())
+                              : 1;
+
+  struct Slot {
+    GraphId g = 0;
+    bool cached = false;
+    PivotSearcher::SearchResult result;
+    std::vector<int> bounds;  // private Glo copy of a concurrent search
+  };
+  std::vector<Slot> slots;
+
+  // Applies one resolved slot under the serial update rules: "found" is
+  // re-decided against the evolved running best (every resolved count is
+  // the graph's true, threshold-independent pivot count), the Gup/Glo
+  // writes match the one-at-a-time scan's, and a false return is the
+  // serial stop point — the order is descending in the Gups it was
+  // sorted under, so no later graph can win once one fails the guard.
+  // Nothing of a slot that failed the guard lands (no statistics, no
+  // bound updates).
+  const auto apply = [&](Slot* slot) {
+    const GraphId g = slot->g;
+    if (upper_bounds_[g] <= best_count) return false;
+    if (slot->cached) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.searches;
+      stats_.expansions += slot->result.expansions;
+      // Merge the private Glo raises back (entries only ever rise, so
+      // an element-wise max reproduces the in-place writes).
+      if (!slot->bounds.empty()) {
+        for (size_t k = 0; k < lower_bounds_.size(); ++k) {
+          lower_bounds_[k] = std::max(lower_bounds_[k], slot->bounds[k]);
+        }
+      }
+      if (reuse && slot->result.found) CacheStore(g, slot->result);
+    }
+    if (slot->result.found && slot->result.count > best_count) {
+      lower_bounds_[g] = std::max(lower_bounds_[g], slot->result.count);
+      if (slot->cached) {
+        // The DFS that produced this result raised the Glo of every
+        // graph sharing the pivot; replay the raises that matter.
+        for (GraphId member : slot->result.members) {
+          lower_bounds_[member] =
+              std::max(lower_bounds_[member], slot->result.count);
+        }
+      }
+      upper_bounds_[g] = slot->result.count;
+      best_count = slot->result.count;
+      *best = std::move(slot->result);
+    } else {
+      // The pivot of g cannot be shared by more than best_count graphs.
+      upper_bounds_[g] = best_count;
+    }
+    return true;
+  };
+
+  size_t pos = 0;
+  while (pos < order.size() && upper_bounds_[order[pos]] > best_count) {
+    // A cached result at the head of the remaining order applies
+    // immediately: it costs no DFS, keeps the scan exactly as lazy as a
+    // serial scan with the same cache (no search is dispatched that the
+    // raised best would have skipped), and leaves the wave's search
+    // slots for real work instead of starving the pool right after a
+    // consume, when most entries are still valid.
+    if (reuse) {
+      Slot head;
+      head.g = order[pos];
+      if (CacheLookup(head.g, &head.result)) {
+        head.cached = true;
+        apply(&head);  // guard holds: the outer condition just checked it
+        ++pos;
+        continue;
+      }
+    }
+
+    // Form the next search wave: up to max_wave (the pool width) cache
+    // misses; cached results interleaved past the first miss ride along
+    // for free and replay in order. Membership only affects how much
+    // gets speculated — the replay makes every wave composition land on
+    // the same state.
+    slots.clear();
+    size_t wave_end = pos;
+    size_t searches_needed = 0;
+    while (wave_end < order.size() &&
+           upper_bounds_[order[wave_end]] > best_count) {
+      Slot slot;
+      slot.g = order[wave_end];
+      // The head slot was already looked up (a miss) above.
+      if (reuse && wave_end != pos) {
+        slot.cached = CacheLookup(slot.g, &slot.result);
+      }
+      if (!slot.cached) {
+        if (searches_needed == max_wave) break;
+        ++searches_needed;
+      }
+      slots.push_back(std::move(slot));
+      ++wave_end;
+    }
+
+    // Resolve the cache misses. Every search uses the wave-start
+    // threshold and (concurrently) a private snapshot of the wave-start
+    // Glo state; both choices leave the per-graph outcome unchanged (see
+    // the header), so resolution order never matters.
+    if (slots.size() == 1) {
+      slots[0].result =
+          searcher_.Search(slots[0].g, best_count, &lower_bounds_);
+    } else {
+      ParallelFor(pool_, slots.size(), [&, best_count](size_t i) {
+        Slot& slot = slots[i];
+        if (slot.cached) return;
+        slot.bounds = lower_bounds_;
+        slot.result = searcher_.Search(slot.g, best_count, &slot.bounds);
+      });
+    }
+
+    // Replay the wave in scan order.
+    size_t applied = slots.size();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (!apply(&slots[i])) {
+        applied = i;
+        break;
+      }
+    }
+    if (applied < slots.size()) {
+      // Everything past the serial stop point was speculative; none of
+      // its bound updates land, but found results still warm the cache
+      // for later rounds.
+      for (size_t i = applied; i < slots.size(); ++i) {
+        Slot& slot = slots[i];
+        if (slot.cached) continue;
+        ++stats_.searches;
+        ++stats_.speculative_searches;
+        stats_.expansions += slot.result.expansions;
+        if (reuse && slot.result.found) CacheStore(slot.g, slot.result);
+      }
+      break;
+    }
+    pos = wave_end;
+  }
+}
+
+void IncrementalEngine::FillPeek() {
+  if (peeked_) return;
+  peeked_ = true;
+  peek_.reset();
+  upper_hint_.reset();  // the scan below rewrites upper bounds
+
+  std::vector<GraphId> order;
+  order.reserve(set_.size());
+  int tau = 0;  // largest lower bound among alive graphs (Algorithm 7 line 2)
+  for (GraphId g = 0; g < set_.size(); ++g) {
+    if (!set_.alive(g)) continue;
+    order.push_back(g);
+    tau = std::max(tau, lower_bounds_[g]);
+  }
+  if (order.empty()) return;
+
+  std::stable_sort(order.begin(), order.end(), [&](GraphId a, GraphId b) {
+    if (upper_bounds_[a] != upper_bounds_[b]) {
+      return upper_bounds_[a] > upper_bounds_[b];
+    }
+    return a < b;
+  });
+
+  // Accept only groups of size >= tau, i.e. strictly greater than tau - 1
+  // (the off-by-one fix described in the header).
+  const bool sampling = RefreshSampleMask();
+  const bool exact = !sampling &&
+                     options_.max_expansions_per_search == kUnlimited &&
+                     options_.max_total_expansions == kUnlimited;
+  const int best_count = tau - 1;
+  PivotSearcher::SearchResult best;
+  if (exact) {
+    WaveScan(order, best_count, &best);
+  } else {
+    // Sampling re-counts against a fresh mask every round and budgets
+    // make outcomes spend-dependent: both keep the documented lazy
+    // serial scan (and no result reuse).
+    SerialScan(order, sampling, best_count, &best);
   }
   if (best.found) {
     peek_ = ReplacementGroup{std::move(best.path), std::move(best.members)};
@@ -166,10 +371,17 @@ const std::optional<ReplacementGroup>& IncrementalEngine::Peek() {
 void IncrementalEngine::ConsumePeeked() {
   USTL_CHECK(peeked_);
   if (peek_.has_value()) {
-    for (GraphId member : peek_->members) set_.Kill(member);
+    for (GraphId member : peek_->members) {
+      set_.Kill(member);
+      // Dead graphs never re-enter the scan order, so their cached
+      // results would otherwise sit unreachable until engine teardown.
+      search_cache_[member].reset();
+    }
     // Removals invalidate lower bounds (the counted containers may be
-    // gone); upper bounds only ever over-estimate and stay valid.
+    // gone); upper bounds only ever over-estimate and stay valid. Cached
+    // search results revalidate themselves against the kill epoch.
     std::fill(lower_bounds_.begin(), lower_bounds_.end(), 1);
+    upper_hint_.reset();
   }
   peeked_ = false;
   peek_.reset();
@@ -186,14 +398,17 @@ int IncrementalEngine::UpperHint() const {
   if (peeked_) {
     return peek_.has_value() ? static_cast<int>(peek_->members.size()) : 0;
   }
-  int alive = 0;
-  int max_ub = 0;
-  for (GraphId g = 0; g < set_.size(); ++g) {
-    if (!set_.alive(g)) continue;
-    ++alive;
-    max_ub = std::max(max_ub, upper_bounds_[g]);
+  if (!upper_hint_.has_value()) {
+    int alive = 0;
+    int max_ub = 0;
+    for (GraphId g = 0; g < set_.size(); ++g) {
+      if (!set_.alive(g)) continue;
+      ++alive;
+      max_ub = std::max(max_ub, upper_bounds_[g]);
+    }
+    upper_hint_ = std::min(max_ub, alive);
   }
-  return std::min(max_ub, alive);
+  return *upper_hint_;
 }
 
 }  // namespace ustl

@@ -6,6 +6,36 @@
 // descending upper-bound order and the scan stops as soon as no unvisited
 // graph can beat the best group found.
 //
+// Parallel wave scan (exact mode): a pivot search's outcome — the
+// canonical first-found maximal path, its count and members — does not
+// depend on the threshold it was asked to beat or the Glo state it pruned
+// under (valid bounds only skip subtrees that cannot contain a maximal
+// path; see pivot_search.h). FillPeek exploits that: it resolves the
+// descending-Gup order in waves on the thread pool, every wave searching
+// against the wave-start threshold and a private Glo snapshot, then
+// REPLAYS the results in scan order with the serial update rules — found
+// iff the count beats the evolved running best, the same Gup/Glo writes,
+// the same stop point. Results a serial scan would never have computed
+// are discarded (their bound updates never land), so the engine's
+// cross-round state is byte-identical for every wave size and thread
+// count; the speculative searches cost only expansion statistics — and
+// warm the result cache below.
+//
+// Cross-round search-result reuse: ConsumePeeked only ever KILLS graphs,
+// and shrinking the alive set can only lower path counts. A cached pivot
+// of g therefore stays the exact canonical pivot — same path, count and
+// members — until one of its members is killed (its own count would drop;
+// every enumeration-earlier path had a strictly smaller count and cannot
+// catch up). Entries are revalidated lazily against GraphSet::kill_epoch,
+// so later rounds re-search only the graphs the last consume dirtied.
+// Reuse changes which searches run, never what they return: output is
+// byte-identical with the cache on or off.
+//
+// Both accelerations apply in exact mode only. Sampling (Appendix E)
+// re-counts against a fresh mask every round, and finite expansion
+// budgets make results depend on how much the previous searches spent —
+// those configurations keep the documented lazy serial scan.
+//
 // Deviation from the paper (see DESIGN.md): Algorithm 7 initializes the
 // pruning threshold to tau (the largest lower bound), which misses a
 // largest group of size exactly tau; we use tau - 1.
@@ -16,6 +46,7 @@
 #include <limits>
 #include <optional>
 
+#include "common/parallel.h"
 #include "grouping/graph_set.h"
 #include "grouping/pivot_search.h"
 
@@ -42,11 +73,22 @@ struct IncrementalOptions {
   /// the sample.
   size_t sample_size = 0;
   uint64_t sample_seed = 0x5eed;
+  /// Cross-round search-result reuse (see the file comment). Output is
+  /// byte-identical either way; off only costs repeated searches. Ignored
+  /// (always off) under sampling or finite expansion budgets.
+  bool reuse_search_results = true;
 };
 
 struct IncrementalStats {
   uint64_t expansions = 0;
   uint64_t searches = 0;
+  /// Searches avoided by cross-round result reuse: rounds that resolved a
+  /// graph from a still-valid cached pivot instead of running its DFS.
+  uint64_t cache_hits = 0;
+  /// Wave searches the lazy serial scan would have skipped (they ran past
+  /// the point the replay stopped at). Pure speculation cost — their
+  /// results still land in the reuse cache.
+  uint64_t speculative_searches = 0;
   /// True once the engine gave up exactness: some search truncated or the
   /// total expansion budget ran out.
   bool truncated = false;
@@ -56,7 +98,12 @@ struct IncrementalStats {
 /// taken.
 class IncrementalEngine {
  public:
-  IncrementalEngine(GraphSet set, IncrementalOptions options);
+  /// `pool` (borrowed, may be null) parallelizes the exact-mode FillPeek
+  /// wave scan; output is byte-identical for any pool / thread count.
+  /// Calls issued from one of the pool's own worker threads degrade to
+  /// the serial scan (nested ParallelFor runs inline).
+  IncrementalEngine(GraphSet set, IncrementalOptions options,
+                    ThreadPool* pool = nullptr);
 
   // Non-copyable and non-movable: the searcher holds a pointer into the
   // owned GraphSet. Hold engines behind unique_ptr.
@@ -78,7 +125,10 @@ class IncrementalEngine {
   bool HasPeeked() const { return peeked_; }
 
   /// Upper bound on the size of the next group: max alive Gup, capped by
-  /// the alive count. Exact (== peeked size) once peeked.
+  /// the alive count. Exact (== peeked size) once peeked. The scan result
+  /// is cached until the next Peek/ConsumePeeked mutates bounds or
+  /// liveness, so repeated hint polls (the k-way merge driver calls this
+  /// per sub-group per round) cost O(1).
   int UpperHint() const;
 
   size_t AliveCount() const { return set_.AliveCount(); }
@@ -86,8 +136,29 @@ class IncrementalEngine {
   const IncrementalStats& stats() const { return stats_; }
 
  private:
+  /// One reusable pivot search outcome (exact mode): the canonical pivot
+  /// of its graph over the alive set it was computed against, revalidated
+  /// lazily via the kill epoch.
+  struct CachedSearch {
+    LabelPath path;
+    std::vector<GraphId> members;
+    int count = 0;
+    uint64_t validated_epoch = 0;
+  };
+
   void InitUpperBounds();
   void FillPeek();
+  /// The legacy strictly-serial threshold scan, used whenever exact mode
+  /// is off (sampling or finite budgets).
+  void SerialScan(const std::vector<GraphId>& order, bool sampling,
+                  int best_count, PivotSearcher::SearchResult* best);
+  /// Exact-mode scan: waves + serial replay + result reuse.
+  void WaveScan(const std::vector<GraphId>& order, int best_count,
+                PivotSearcher::SearchResult* best);
+  /// Copies a still-valid cached pivot of `g` into `*out` (found = true).
+  /// Returns false (and drops stale entries) otherwise.
+  bool CacheLookup(GraphId g, PivotSearcher::SearchResult* out);
+  void CacheStore(GraphId g, const PivotSearcher::SearchResult& result);
   /// Rebuilds the sampling mask from the first sample_size alive graphs of
   /// the fixed seeded permutation; returns false when sampling is off or
   /// unnecessary (alive count within sample_size).
@@ -95,11 +166,14 @@ class IncrementalEngine {
 
   GraphSet set_;
   IncrementalOptions options_;
+  ThreadPool* pool_ = nullptr;
   PivotSearcher searcher_;
   std::vector<int> lower_bounds_;  // Glo per graph
   std::vector<int> upper_bounds_;  // Gup per graph
   std::vector<GraphId> sample_order_;  // fixed seeded permutation
   std::vector<char> sample_mask_;
+  std::vector<std::optional<CachedSearch>> search_cache_;  // per graph
+  mutable std::optional<int> upper_hint_;  // memoized UpperHint scan
   bool peeked_ = false;
   std::optional<ReplacementGroup> peek_;
   IncrementalStats stats_;

@@ -54,6 +54,14 @@ InvertedIndex InvertedIndex::Build(
     shards = pool != nullptr && !pool->InWorkerThread()
                  ? static_cast<size_t>(pool->num_threads())
                  : 1;
+    // Every shard walks ALL graphs twice (count + fill) and only filters
+    // by label range, so S shards cost ~S serial scans split over the
+    // pool — a wash at best, and a regression once the task overhead
+    // outweighs the posting writes (0.39x on a 4.8k-label input, see
+    // BENCH_2026-07-31_posting_kernel.json). Small label ranges take the
+    // serial path; explicit num_shards requests are honored as-is (the
+    // bit-identity sweeps in tests rely on that).
+    if (num_labels < kAutoShardMinLabels) shards = 1;
   }
   shards = std::max<size_t>(1, std::min(shards, num_labels));
 

@@ -44,6 +44,18 @@ TEST(GraphSetTest, BuildAndKill) {
   EXPECT_TRUE(set.alive(0));
 }
 
+TEST(GraphSetTest, KillEpochCountsAliveToDeadTransitions) {
+  LabelInterner interner;
+  GraphSet set = BuildSet(Example51Pairs(), &interner);
+  EXPECT_EQ(set.kill_epoch(), 0u);
+  set.Kill(1);
+  EXPECT_EQ(set.kill_epoch(), 1u);
+  set.Kill(1);  // already dead: cached results over the alive set stay valid
+  EXPECT_EQ(set.kill_epoch(), 1u);
+  set.Kill(0);
+  EXPECT_EQ(set.kill_epoch(), 2u);
+}
+
 TEST(PivotSearchTest, Example52PivotSharedByTwoGraphs) {
   // The pivot path of G1 ("Lee, Mary" -> "M. Lee") is shared by G1 and G2
   // (Example 5.2 finds f2 (+) f3 (+) f1 with |l| = 2).
@@ -287,6 +299,94 @@ TEST(IncrementalTest, UpperHintBoundsNextGroup) {
     if (!group.has_value()) break;
     EXPECT_LE(static_cast<int>(group->members.size()), hint);
   }
+}
+
+TEST(IncrementalTest, SearchCacheReusesAcrossRoundsWithIdenticalGroups) {
+  // Round 1's wave speculatively searches the name family alongside the
+  // winning ordinal family; its result (members untouched by the consume)
+  // stays exact, so round 2 resolves it from the cache — with the same
+  // group sequence the serial cache-off engine produces.
+  std::vector<StringPair> pairs = {
+      {"Lee, Mary", "M. Lee"}, {"Smith, James", "J. Smith"},
+      {"9th", "9"},            {"3rd", "3"},
+      {"22nd", "22"}};
+  auto drain = [&](ThreadPool* pool, bool reuse, IncrementalStats* stats) {
+    LabelInterner interner;
+    GraphSet set = BuildSet(pairs, &interner);
+    IncrementalOptions options;
+    options.reuse_search_results = reuse;
+    IncrementalEngine engine(std::move(set), options, pool);
+    std::vector<ReplacementGroup> groups;
+    while (auto group = engine.Next()) groups.push_back(std::move(*group));
+    if (stats != nullptr) *stats = engine.stats();
+    return groups;
+  };
+  IncrementalStats cached_stats;
+  ThreadPool pool(4);
+  std::vector<ReplacementGroup> cached = drain(&pool, true, &cached_stats);
+  std::vector<ReplacementGroup> plain = drain(nullptr, false, nullptr);
+  ASSERT_EQ(cached.size(), plain.size());
+  ASSERT_GT(cached.size(), 1u);
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].pivot, plain[i].pivot) << i;
+    EXPECT_EQ(cached[i].members, plain[i].members) << i;
+  }
+  // The wave ran past the serial stop point at least once, and what it
+  // speculated came back as avoided searches in a later round.
+  EXPECT_GT(cached_stats.speculative_searches, 0u);
+  EXPECT_GT(cached_stats.cache_hits, 0u);
+}
+
+TEST(IncrementalTest, CacheEntriesWithKilledMembersAreInvalidated) {
+  // Example 5.1: G0 and G2 both replace "Lee, Mary"; G0's pivot groups it
+  // with G1, G2's round-1 search counts paths shared with G0. After round
+  // 1 kills {G0, G1}, any cached result of G2 whose members include G0 is
+  // stale and must be recomputed — the round-2 group may only contain
+  // alive graphs, and its pivot must still be consistent with them.
+  auto drain = [&](bool reuse) {
+    LabelInterner interner;
+    GraphSet set = BuildSet(Example51Pairs(), &interner);
+    IncrementalOptions options;
+    options.reuse_search_results = reuse;
+    IncrementalEngine engine(std::move(set), options);
+    std::vector<ReplacementGroup> groups;
+    while (auto group = engine.Next()) groups.push_back(std::move(*group));
+    return groups;
+  };
+  std::vector<ReplacementGroup> cached = drain(true);
+  std::vector<ReplacementGroup> plain = drain(false);
+  ASSERT_EQ(cached.size(), plain.size());
+  std::set<GraphId> seen;
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].pivot, plain[i].pivot) << i;
+    EXPECT_EQ(cached[i].members, plain[i].members) << i;
+    for (GraphId g : cached[i].members) {
+      EXPECT_TRUE(seen.insert(g).second) << "graph in two groups";
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(IncrementalTest, UpperHintIsStableBetweenMutations) {
+  LabelInterner interner;
+  GraphSet set = BuildSet(
+      {{"Street", "St"}, {"Avenue", "Ave"}, {"Wisconsin", "WI"},
+       {"9th", "9"}, {"3rd", "3"}},
+      &interner);
+  IncrementalEngine engine(std::move(set), IncrementalOptions{});
+  while (engine.AliveCount() > 0) {
+    // The memoized scan must be idempotent...
+    const int hint = engine.UpperHint();
+    EXPECT_EQ(engine.UpperHint(), hint);
+    auto& peek = engine.Peek();
+    if (!peek.has_value()) break;
+    // ...and sound against the group it precedes.
+    EXPECT_LE(static_cast<int>(peek->members.size()), hint);
+    engine.ConsumePeeked();
+    // Consuming invalidates the memo: the hint may shrink, never grow.
+    EXPECT_LE(engine.UpperHint(), hint);
+  }
+  EXPECT_EQ(engine.UpperHint(), 0);
 }
 
 TEST(IncrementalTest, ExhaustionReturnsNullopt) {

@@ -211,14 +211,17 @@ TEST(ParallelDeterminismTest, ShardedIndexBuildMatchesSerialBitForBit) {
 // Drains a GroupingEngine configured with `threads` into a comparable
 // serialized form.
 std::vector<Group> DrainEngine(const std::vector<StringPair>& pairs,
-                               int threads) {
+                               int threads, bool search_cache = true,
+                               IncrementalStats* stats = nullptr) {
   GroupingOptions options;
   options.num_threads = threads;
+  options.reuse_search_results = search_cache;
   GroupingEngine engine(pairs, options);
   std::vector<Group> groups;
   while (std::optional<Group> group = engine.Next()) {
     groups.push_back(std::move(*group));
   }
+  if (stats != nullptr) *stats = engine.stats();
   return groups;
 }
 
@@ -244,6 +247,27 @@ TEST(ParallelDeterminismTest, GroupingEngineIsIdenticalAcrossThreadCounts) {
   ExpectSameGroups(one, DrainEngine(pairs, 8));
 }
 
+// ISSUE 4 acceptance: grouped output (groups, members, order) must be
+// byte-identical across thread counts x search-cache settings in the
+// incremental driver. The 1-thread cache-on run must also see cross-round
+// reuse actually firing.
+TEST(ParallelDeterminismTest, GroupingEngineThreadAndSearchCacheMatrix) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  IncrementalStats baseline_stats;
+  std::vector<Group> baseline =
+      DrainEngine(pairs, 1, /*search_cache=*/true, &baseline_stats);
+  ASSERT_GT(baseline.size(), 5u);
+  EXPECT_GT(baseline_stats.cache_hits, 0u);
+  for (int threads : {1, 2, 4}) {
+    for (bool cache : {true, false}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " cache=" << cache);
+      ExpectSameGroups(baseline, DrainEngine(pairs, threads, cache));
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, GroupAllUpfrontIsIdenticalAcrossThreadCounts) {
   GeneratedDataset data;
   std::vector<StringPair> pairs = DatasetPairs(&data);
@@ -255,14 +279,89 @@ TEST(ParallelDeterminismTest, GroupAllUpfrontIsIdenticalAcrossThreadCounts) {
     UpfrontStats stats;
     runs.push_back(GroupAllUpfront(pairs, options, true, &stats));
     expansions.push_back(stats.expansions);
+    EXPECT_GT(stats.expansions, 0u);
   }
   ASSERT_GT(runs[0].size(), 5u);
   ExpectSameGroups(runs[0], runs[1]);
   ExpectSameGroups(runs[0], runs[2]);
-  // The upfront driver does the same searches in every configuration, so
-  // even the aggregated expansion counters must match.
-  EXPECT_EQ(expansions[0], expansions[1]);
-  EXPECT_EQ(expansions[0], expansions[2]);
+  // The wave scan searches against the Glo snapshot its wave started
+  // with, so multi-threaded runs may spend pruning expansions the serial
+  // scan avoids — groups must match, the counters need not (see
+  // GroupingOptions::num_threads).
+}
+
+// The wave scan of one structure group, exercised directly on an
+// IncrementalEngine sharing a pool: group sequence and membership must be
+// byte-identical to the serial engine, cache on or off.
+TEST(ParallelDeterminismTest, IncrementalWaveScanMatchesSerialScan) {
+  GeneratedDataset data;
+  std::vector<StringPair> all_pairs = DatasetPairs(&data);
+  // The engine serves one structure group at a time in production; take
+  // the largest one (heterogeneous sets make pivot search explode).
+  std::vector<StringPair> pairs;
+  for (const auto& [structure, indices] :
+       PartitionByStructure(all_pairs, true)) {
+    if (indices.size() > pairs.size()) {
+      pairs.clear();
+      for (size_t i : indices) pairs.push_back(all_pairs[i]);
+    }
+  }
+  ASSERT_GT(pairs.size(), 10u);
+  auto drain = [&](ThreadPool* pool, bool cache) {
+    LabelInterner interner;
+    GraphBuilder builder(GraphBuilderOptions{}, &interner);
+    Result<GraphSet> set = GraphSet::Build(pairs, builder, pool);
+    EXPECT_TRUE(set.ok());
+    IncrementalOptions options;
+    options.reuse_search_results = cache;
+    IncrementalEngine engine(std::move(set).value(), options, pool);
+    std::vector<ReplacementGroup> groups;
+    while (auto group = engine.Next()) groups.push_back(std::move(*group));
+    return groups;
+  };
+  std::vector<ReplacementGroup> serial = drain(nullptr, false);
+  ASSERT_GT(serial.size(), 1u);
+  ThreadPool pool(4);
+  for (bool cache : {true, false}) {
+    SCOPED_TRACE(cache);
+    std::vector<ReplacementGroup> waved = drain(&pool, cache);
+    ASSERT_EQ(waved.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].pivot, waved[i].pivot) << i;
+      EXPECT_EQ(serial[i].members, waved[i].members) << i;
+    }
+  }
+}
+
+// A finite total expansion budget must keep the engine on the documented
+// lazy serial order whatever the thread count: identical groups AND
+// identical search statistics (the budget makes spend order-dependent, so
+// the engine may not speculate).
+TEST(ParallelDeterminismTest, FiniteBudgetKeepsTheLazySerialOrder) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  auto run = [&](int threads) {
+    GroupingOptions options;
+    options.num_threads = threads;
+    options.max_total_expansions = 20000;  // enough for a few groups
+    GroupingEngine engine(pairs, options);
+    std::vector<Group> groups;
+    while (std::optional<Group> group = engine.Next()) {
+      groups.push_back(std::move(*group));
+    }
+    return std::make_pair(std::move(groups), engine.stats());
+  };
+  auto [one, one_stats] = run(1);
+  ASSERT_FALSE(one.empty());
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    auto [many, many_stats] = run(threads);
+    ExpectSameGroups(one, many);
+    EXPECT_EQ(one_stats.searches, many_stats.searches);
+    EXPECT_EQ(one_stats.expansions, many_stats.expansions);
+    EXPECT_EQ(many_stats.speculative_searches, 0u);
+    EXPECT_EQ(many_stats.cache_hits, 0u);
+  }
 }
 
 }  // namespace

@@ -6,6 +6,11 @@
 # USTL_DCHECK invariant scans run — CI exercises both, so run both
 # locally before sending a PR. Set USTL_CHECK_SKIP_DEBUG=1 to run only
 # the tier-1 Release pass.
+#
+# A third leg builds the parallel subsystems under ThreadSanitizer
+# (-DUSTL_TSAN=ON) and runs parallel_test / grouping_test /
+# pipeline_test — the wave scans and the thread pool are only honest if
+# an instrumented run agrees. Set USTL_CHECK_SKIP_TSAN=1 to skip it.
 set -eu
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
@@ -31,6 +36,27 @@ cmake --build build -j"$JOBS"
 cmp build/smoke_serial.csv build/smoke_parallel.csv
 cmp build/smoke_serial.csv build/smoke_nocache.csv
 echo "column-parallel smoke: byte-identical"
+
+# Wave-scan / search-cache byte-compare (ISSUE 4 acceptance): grouped
+# output — and therefore the standardized table — must be byte-identical
+# across --threads {1,4} x --search-cache {on,off}. The serial cache-on
+# run is the smoke_serial.csv baseline above.
+for config in "--threads 4" "--search-cache off" \
+              "--threads 4 --search-cache off"; do
+  # shellcheck disable=SC2086
+  ./build/ustl-consolidate --input build/smoke_columns.csv \
+    --output build/smoke_wave.csv --approve all --budget 40 $config
+  cmp build/smoke_serial.csv build/smoke_wave.csv
+done
+echo "wave-scan/search-cache smoke: byte-identical"
+
+if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -S . -DUSTL_TSAN=ON
+  cmake --build build-tsan -j"$JOBS" --target parallel_test grouping_test \
+    pipeline_test
+  (cd build-tsan && ctest --output-on-failure \
+    -R "parallel_test|grouping_test|pipeline_test")
+fi
 
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then
   cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug

@@ -41,6 +41,7 @@ struct Args {
   std::string replay;
   std::string approve = "interactive";
   std::string oracle_cache = "on";
+  std::string search_cache = "on";
   size_t budget = 100;
   int threads = 1;
   bool column_parallel = false;
@@ -59,10 +60,11 @@ void Usage() {
       "                        [--threads N (default: 1; 0 = all cores)]\n"
       "                        [--column-parallel]\n"
       "                        [--oracle-cache on|off (default: on)]\n"
+      "                        [--search-cache on|off (default: on)]\n"
       "\n"
-      "--threads parallelizes grouping (graph construction and structure-"
-      "group\npreprocessing); results are identical for any thread "
-      "count.\n"
+      "--threads parallelizes grouping (graph construction, structure-"
+      "group\npreprocessing, and the pivot searches within one structure "
+      "group);\nresults are identical for any thread count.\n"
       "--column-parallel standardizes all columns concurrently on the "
       "thread\nbudget (pipeline subsystem); output stays byte-identical. "
       "Requires\n--approve all (a human can't answer interleaved "
@@ -70,6 +72,9 @@ void Usage() {
       "--oracle-cache dedups repeated questions across columns by "
       "content;\nverdicts are unchanged, the oracle is just asked "
       "less.\n"
+      "--search-cache reuses still-exact pivot-search results across "
+      "grouping\nrounds; groups are byte-identical either way, off only "
+      "repeats searches.\n"
       "--replay applies a previously saved transformation log (--log "
       "output)\ninstead of running verification; no questions are "
       "asked.\n");
@@ -163,6 +168,8 @@ int main(int argc, char** argv) {
       args.column_parallel = true;
     } else if (std::strcmp(argv[i], "--oracle-cache") == 0) {
       args.oracle_cache = next("--oracle-cache");
+    } else if (std::strcmp(argv[i], "--search-cache") == 0) {
+      args.search_cache = next("--search-cache");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -171,7 +178,8 @@ int main(int argc, char** argv) {
   }
   if (args.input.empty() || args.output.empty() ||
       (args.approve != "all" && args.approve != "interactive") ||
-      (args.oracle_cache != "on" && args.oracle_cache != "off")) {
+      (args.oracle_cache != "on" && args.oracle_cache != "off") ||
+      (args.search_cache != "on" && args.search_cache != "off")) {
     Usage();
     return 2;
   }
@@ -197,6 +205,7 @@ int main(int argc, char** argv) {
   options.budget_per_column = args.budget;
   options.skip_singletons = args.approve == "interactive";
   options.grouping.num_threads = args.threads;
+  options.grouping.reuse_search_results = args.search_cache == "on";
 
   ApproveAllOracle approve_all;
   InteractiveOracle interactive;
