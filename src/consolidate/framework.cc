@@ -71,6 +71,7 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
     }
   }
 
+  result.grouping = engine.stats();
   *column = store.column();
   return result;
 }

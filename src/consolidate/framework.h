@@ -87,6 +87,11 @@ struct ColumnRunResult {
   size_t groups_approved = 0;
   size_t edits = 0;
   std::vector<GroupTrace> trace;
+  /// Search-work counters of the column's grouping engine (searches,
+  /// expansions, cache/warm hits...). The serving layer and the benches
+  /// read these to show what a warm cross-engine search cache saved;
+  /// zeroes for StandardizeColumnSingle, which never builds an engine.
+  IncrementalStats grouping;
 };
 
 /// Standardizes one column in place (Algorithm 1 lines 2-9 for one Ci).
@@ -102,13 +107,14 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
                                         const FrameworkOptions& options);
 
 /// Full Algorithm 1: standardize every column of the table with the same
-/// oracle/budget, then return MC golden records. Routed through the
-/// column-parallel pipeline subsystem in its serial, cache-off
-/// configuration (and defined in pipeline/pipeline.cc, which this header
-/// must not include), so this entry point behaves exactly like the
+/// oracle/budget, then return MC golden records. Delegates to the serving
+/// layer (via the pipeline's one-shot facade) in its serial, cache-off
+/// configuration — defined in pipeline/pipeline.cc, which this header
+/// must not include — so this entry point behaves exactly like the
 /// historical per-column loop; use RunConsolidationPipeline
-/// (pipeline/pipeline.h) directly for column parallelism, verdict caching
-/// and broker statistics.
+/// (pipeline/pipeline.h) for column parallelism, verdict caching and
+/// broker statistics, or serve/service.h's ConsolidationService for
+/// long-lived multi-table serving with caches warm across requests.
 struct GoldenRecordRun {
   std::vector<ColumnRunResult> per_column;
   std::vector<GoldenRecord> golden_records;

@@ -1,6 +1,7 @@
 #include "grouping/grouping.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "common/timer.h"
@@ -166,6 +167,42 @@ std::vector<Group> GroupAllUpfront(const std::vector<StringPair>& pairs,
   return groups;
 }
 
+namespace {
+
+// Content hash of everything that shapes a GroupingEngine's graphs and
+// searches except the structure key: the graph-construction options plus
+// the column's full ordered pair list (the Appendix-E scorer is built
+// from the whole column, so every structure group depends on all of it).
+// Output-invariant knobs (thread counts, reuse/caching toggles, budgets —
+// sharing is disabled under finite budgets anyway) stay out of the key so
+// differently-configured but identically-grouping runs still share.
+SearchCacheKey HashSearchContext(const GroupingOptions& options,
+                                 const std::vector<StringPair>& pairs) {
+  SearchKeyHasher hasher;
+  const GraphBuilderOptions& graph = options.graph;
+  hasher.U64(static_cast<uint64_t>(graph.enable_affix) |
+             static_cast<uint64_t>(graph.enable_substr) << 1 |
+             static_cast<uint64_t>(graph.enable_constants) << 2 |
+             static_cast<uint64_t>(graph.position_static_order) << 3 |
+             static_cast<uint64_t>(graph.token_aligned_labels) << 4 |
+             static_cast<uint64_t>(options.use_term_scorer) << 5 |
+             static_cast<uint64_t>(options.structure_refinement) << 6);
+  hasher.U64(static_cast<uint64_t>(graph.max_input_len));
+  hasher.U64(static_cast<uint64_t>(graph.max_output_len));
+  hasher.U64(static_cast<uint64_t>(graph.max_substr_labels_per_edge));
+  hasher.U64(static_cast<uint64_t>(options.max_path_len));
+  hasher.U64(pairs.size());
+  for (const StringPair& pair : pairs) {
+    hasher.Str(pair.lhs);
+    hasher.Str(pair.rhs);
+  }
+  return hasher.Finish();
+}
+
+constexpr uint64_t kNoLimit = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
 GroupingEngine::GroupingEngine(std::vector<StringPair> pairs,
                                GroupingOptions options)
     : pairs_(std::move(pairs)), options_(options) {
@@ -185,6 +222,15 @@ GroupingEngine::GroupingEngine(std::vector<StringPair> pairs,
     sub.structure = structure;
     sub.pair_indices = std::move(indices);
     subs_.push_back(std::move(sub));
+  }
+  // Cross-engine sharing applies exactly where cross-round reuse does
+  // (exact mode); hashing the column costs one pass, so skip it when the
+  // configuration can never use the key.
+  if (options_.shared_search_cache != nullptr &&
+      options_.reuse_search_results && options_.pivot_sample_size == 0 &&
+      options_.max_expansions_per_search == kNoLimit &&
+      options_.max_total_expansions == kNoLimit) {
+    search_context_ = HashSearchContext(options_, pairs_);
   }
 }
 
@@ -210,6 +256,17 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
   inc_options.sample_size = options_.pivot_sample_size;
   inc_options.sample_seed = options_.pivot_sample_seed;
   inc_options.reuse_search_results = options_.reuse_search_results;
+  inc_options.adaptive_wave_sizing = options_.adaptive_wave_sizing;
+  if (search_context_.valid()) {
+    // Scope the shared context hash to this structure group; the engine
+    // double-checks exact-mode eligibility itself.
+    SearchKeyHasher hasher;
+    hasher.U64(search_context_.lo);
+    hasher.U64(search_context_.hi);
+    hasher.Str(sub->structure);
+    inc_options.shared_cache = options_.shared_search_cache;
+    inc_options.shared_cache_key = hasher.Finish();
+  }
   // The expansion budget is shared across structure groups: hand each
   // newly preprocessed engine whatever is left.
   if (options_.max_total_expansions !=
@@ -351,19 +408,24 @@ std::optional<Group> GroupingEngine::Next() {
                     pairs_[group.member_pair_indices[0]], &group);
     }
     best_sub->engine->ConsumePeeked();
-    stats_ = IncrementalStats{};
-    for (const SubGroup& sub : subs_) {
-      if (sub.engine != nullptr) {
-        stats_.expansions += sub.engine->stats().expansions;
-        stats_.searches += sub.engine->stats().searches;
-        stats_.cache_hits += sub.engine->stats().cache_hits;
-        stats_.speculative_searches +=
-            sub.engine->stats().speculative_searches;
-        stats_.truncated |= sub.engine->stats().truncated;
-      }
-    }
     return group;
   }
+}
+
+IncrementalStats GroupingEngine::stats() const {
+  IncrementalStats out;
+  for (const SubGroup& sub : subs_) {
+    if (sub.engine == nullptr) continue;
+    const IncrementalStats& stats = sub.engine->stats();
+    out.expansions += stats.expansions;
+    out.searches += stats.searches;
+    out.cache_hits += stats.cache_hits;
+    out.speculative_searches += stats.speculative_searches;
+    out.speculative_hits += stats.speculative_hits;
+    out.warm_hits += stats.warm_hits;
+    out.truncated |= stats.truncated;
+  }
+  return out;
 }
 
 size_t GroupingEngine::RemainingCount() const {

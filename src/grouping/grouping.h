@@ -17,6 +17,7 @@
 #include "grouping/group.h"
 #include "grouping/incremental.h"
 #include "grouping/oneshot.h"
+#include "grouping/search_cache.h"
 
 namespace ustl {
 
@@ -51,6 +52,26 @@ struct GroupingOptions {
   /// Groups are byte-identical with this on or off; off only repeats
   /// searches. Ignored under sampling or finite expansion budgets.
   bool reuse_search_results = true;
+  /// Adaptive wave sizing for the incremental engines' exact-mode wave
+  /// scan: wave widths are sized from the observed speculation hit rate
+  /// instead of the raw pool width, so a box whose hardware cannot run
+  /// the wave concurrently stops paying for speculation that never pays
+  /// off. Groups are byte-identical either way (statistics move). See
+  /// IncrementalOptions::adaptive_wave_sizing. The upfront driver is
+  /// unaffected: it searches every graph exactly once, so none of its
+  /// wave work is speculative.
+  bool adaptive_wave_sizing = true;
+  /// Cross-engine pivot-search warm start (grouping/search_cache.h):
+  /// borrowed shared cache, must outlive every engine using it, may be
+  /// shared across threads. When set (and reuse_search_results applies),
+  /// each structure group's epoch-0 search results are published under a
+  /// content key — the grouping options that shape graphs, the full
+  /// ordered pair list, the structure — and an engine whose content
+  /// matches an earlier engine's (a replicated column, a repeated
+  /// request) seeds its cache instead of re-searching. Byte-identical
+  /// warm or cold. The pipeline and the consolidation service own one
+  /// cache per run / per service; null disables sharing.
+  SearchResultCache* shared_search_cache = nullptr;
   /// Worker threads for graph construction, per-structure-group
   /// preprocessing AND the pivot searches inside one structure group
   /// (wave scan, see oneshot.h / incremental.h). 0 = hardware
@@ -100,8 +121,10 @@ class GroupingEngine {
   /// Total replacements not yet grouped.
   size_t RemainingCount() const;
 
-  /// Cumulative search statistics across all structure groups.
-  IncrementalStats stats() const { return stats_; }
+  /// Cumulative search statistics across all structure groups, aggregated
+  /// on demand (so the final refinement work before an exhausted Next()
+  /// is included too).
+  IncrementalStats stats() const;
 
  private:
   struct SubGroup {
@@ -124,7 +147,11 @@ class GroupingEngine {
   CorpusFrequency global_corpus_;
   std::unique_ptr<ThreadPool> pool_;  // null when running serially
   std::vector<SubGroup> subs_;
-  IncrementalStats stats_;
+  /// Shared hash of everything except the structure key — the options
+  /// that shape graph construction plus the full ordered pair list (the
+  /// term scorer sees the whole column, so a structure group's graphs
+  /// depend on all of it). Invalid when cross-engine sharing is off.
+  SearchCacheKey search_context_;
 };
 
 /// Helper shared by the drivers and tests: partitions pair indices by the

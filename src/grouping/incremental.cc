@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "common/random.h"
@@ -20,6 +21,16 @@ PivotSearcher::Options SearcherOptions(const IncrementalOptions& options) {
 
 constexpr uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
 
+// Speculative searches observed before the adaptive wave sizer trusts the
+// measured hit rate; below this it stays at the optimistic pool width.
+constexpr uint64_t kAdaptiveWaveMinSamples = 16;
+
+bool ExactModeConfigured(const IncrementalOptions& options) {
+  return options.sample_size == 0 &&
+         options.max_expansions_per_search == kUnlimited &&
+         options.max_total_expansions == kUnlimited;
+}
+
 }  // namespace
 
 IncrementalEngine::IncrementalEngine(GraphSet set, IncrementalOptions options,
@@ -37,6 +48,30 @@ IncrementalEngine::IncrementalEngine(GraphSet set, IncrementalOptions options,
     std::iota(sample_order_.begin(), sample_order_.end(), GraphId{0});
     Rng rng(options_.sample_seed);
     rng.Shuffle(&sample_order_);
+  }
+  // Cross-engine warmth piggybacks on the reuse cache, so it is gated
+  // exactly like reuse: exact mode only.
+  if (options_.shared_cache != nullptr && options_.shared_cache_key.valid() &&
+      options_.reuse_search_results && ExactModeConfigured(options_)) {
+    shared_cache_ = options_.shared_cache;
+    WarmStartFromSharedCache();
+  }
+}
+
+void IncrementalEngine::WarmStartFromSharedCache() {
+  for (auto& [g, pivot] :
+       shared_cache_->WarmStart(options_.shared_cache_key)) {
+    if (g >= set_.size()) continue;  // foreign entry; key collision guard
+    CachedSearch entry;
+    entry.path = std::move(pivot.path);
+    entry.members = std::move(pivot.members);
+    entry.count = pivot.count;
+    // Published entries were computed against an identical-content,
+    // untouched alive set — exactly this engine's state at its own kill
+    // epoch 0 (the GraphSet starts with zero kills).
+    entry.validated_epoch = set_.kill_epoch();
+    entry.warm = true;
+    search_cache_[g] = std::move(entry);
   }
 }
 
@@ -98,7 +133,8 @@ void IncrementalEngine::InitUpperBounds() {
 }
 
 bool IncrementalEngine::CacheLookup(GraphId g,
-                                    PivotSearcher::SearchResult* out) {
+                                    PivotSearcher::SearchResult* out,
+                                    bool* warm, bool* speculative) {
   std::optional<CachedSearch>& entry = search_cache_[g];
   if (!entry.has_value()) return false;
   if (entry->validated_epoch != set_.kill_epoch()) {
@@ -120,17 +156,31 @@ bool IncrementalEngine::CacheLookup(GraphId g,
   out->count = entry->count;
   out->expansions = 0;
   out->truncated = false;
+  if (warm != nullptr) *warm = entry->warm;
+  if (speculative != nullptr) *speculative = entry->speculative;
   return true;
 }
 
 void IncrementalEngine::CacheStore(GraphId g,
-                                   const PivotSearcher::SearchResult& result) {
+                                   const PivotSearcher::SearchResult& result,
+                                   bool speculative) {
   CachedSearch entry;
   entry.path = result.path;
   entry.members = result.members;
   entry.count = result.count;
   entry.validated_epoch = set_.kill_epoch();
+  entry.speculative = speculative;
   search_cache_[g] = std::move(entry);
+  // Epoch-0 results are the transferable ones: computed against the
+  // untouched alive set, so an identical-content engine can start from
+  // them (see search_cache.h). Later epochs saw kills and stay private.
+  if (shared_cache_ != nullptr && set_.kill_epoch() == 0) {
+    CachedPivot pivot;
+    pivot.path = result.path;
+    pivot.members = result.members;
+    pivot.count = result.count;
+    shared_cache_->Publish(options_.shared_cache_key, g, std::move(pivot));
+  }
 }
 
 void IncrementalEngine::SerialScan(const std::vector<GraphId>& order,
@@ -177,13 +227,37 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
                                  int best_count,
                                  PivotSearcher::SearchResult* best) {
   const bool reuse = options_.reuse_search_results;
-  const size_t max_wave = pool_ != nullptr && !pool_->InWorkerThread()
-                              ? static_cast<size_t>(pool_->num_threads())
-                              : 1;
+  const size_t pool_wave = pool_ != nullptr && !pool_->InWorkerThread()
+                               ? static_cast<size_t>(pool_->num_threads())
+                               : 1;
+  size_t max_wave = pool_wave;
+  if (options_.adaptive_wave_sizing && pool_wave > 1) {
+    // Waves wider than the hardware can actually run concurrently are
+    // pure speculation; pay for that width only at the rate speculation
+    // has been observed to pay off (a speculative result that later
+    // served a cache hit was free). Optimistic full width until enough
+    // samples accumulated. Any width yields byte-identical output — the
+    // replay discipline guarantees it — so this trades statistics only.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const size_t base =
+        std::min(pool_wave, static_cast<size_t>(hw == 0 ? 1 : hw));
+    if (base < pool_wave &&
+        stats_.speculative_searches >= kAdaptiveWaveMinSamples) {
+      const double rate = static_cast<double>(stats_.speculative_hits) /
+                          static_cast<double>(stats_.speculative_searches);
+      max_wave = base + static_cast<size_t>(
+                            rate * static_cast<double>(pool_wave - base) +
+                            0.5);
+      if (max_wave < 1) max_wave = 1;
+      if (max_wave > pool_wave) max_wave = pool_wave;
+    }
+  }
 
   struct Slot {
     GraphId g = 0;
     bool cached = false;
+    bool warm = false;         // cached entry came from the shared cache
+    bool speculative = false;  // cached entry was stored by speculation
     PivotSearcher::SearchResult result;
     std::vector<int> bounds;  // private Glo copy of a concurrent search
   };
@@ -202,6 +276,17 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
     if (upper_bounds_[g] <= best_count) return false;
     if (slot->cached) {
       ++stats_.cache_hits;
+      if (slot->warm) ++stats_.warm_hits;
+      if (slot->speculative) {
+        // Count each speculative search as "paid off" at most once —
+        // the entry survives for further (plain) hits, but the adaptive
+        // rate divides by speculative_searches, which counts each
+        // search once, so the numerator must too.
+        ++stats_.speculative_hits;
+        if (search_cache_[g].has_value()) {
+          search_cache_[g]->speculative = false;
+        }
+      }
     } else {
       ++stats_.searches;
       stats_.expansions += slot->result.expansions;
@@ -212,7 +297,9 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
           lower_bounds_[k] = std::max(lower_bounds_[k], slot->bounds[k]);
         }
       }
-      if (reuse && slot->result.found) CacheStore(g, slot->result);
+      if (reuse && slot->result.found) {
+        CacheStore(g, slot->result, /*speculative=*/false);
+      }
     }
     if (slot->result.found && slot->result.count > best_count) {
       lower_bounds_[g] = std::max(lower_bounds_[g], slot->result.count);
@@ -245,7 +332,7 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
     if (reuse) {
       Slot head;
       head.g = order[pos];
-      if (CacheLookup(head.g, &head.result)) {
+      if (CacheLookup(head.g, &head.result, &head.warm, &head.speculative)) {
         head.cached = true;
         apply(&head);  // guard holds: the outer condition just checked it
         ++pos;
@@ -267,7 +354,8 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
       slot.g = order[wave_end];
       // The head slot was already looked up (a miss) above.
       if (reuse && wave_end != pos) {
-        slot.cached = CacheLookup(slot.g, &slot.result);
+        slot.cached =
+            CacheLookup(slot.g, &slot.result, &slot.warm, &slot.speculative);
       }
       if (!slot.cached) {
         if (searches_needed == max_wave) break;
@@ -311,7 +399,9 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
         ++stats_.searches;
         ++stats_.speculative_searches;
         stats_.expansions += slot.result.expansions;
-        if (reuse && slot.result.found) CacheStore(slot.g, slot.result);
+        if (reuse && slot.result.found) {
+          CacheStore(slot.g, slot.result, /*speculative=*/true);
+        }
       }
       break;
     }

@@ -29,7 +29,14 @@
 // catch up). Entries are revalidated lazily against GraphSet::kill_epoch,
 // so later rounds re-search only the graphs the last consume dirtied.
 // Reuse changes which searches run, never what they return: output is
-// byte-identical with the cache on or off.
+// byte-identical with the cache on or off. The cache can additionally be
+// warm-started across engines: epoch-0 results (computed against the
+// untouched alive set) are published to / seeded from a shared
+// SearchResultCache keyed by engine content, so an engine whose graphs
+// repeat an earlier engine's never re-runs its round-one searches
+// (IncrementalOptions::shared_cache, grouping/search_cache.h); wave
+// widths are sized adaptively from the observed speculation hit rate
+// (IncrementalOptions::adaptive_wave_sizing).
 //
 // Both accelerations apply in exact mode only. Sampling (Appendix E)
 // re-counts against a fresh mask every round, and finite expansion
@@ -49,6 +56,7 @@
 #include "common/parallel.h"
 #include "grouping/graph_set.h"
 #include "grouping/pivot_search.h"
+#include "grouping/search_cache.h"
 
 namespace ustl {
 
@@ -77,6 +85,28 @@ struct IncrementalOptions {
   /// byte-identical either way; off only costs repeated searches. Ignored
   /// (always off) under sampling or finite expansion budgets.
   bool reuse_search_results = true;
+  /// Adaptive wave sizing for the exact-mode wave scan. The wave width
+  /// defaults to the pool width, which speculates past the serial stop
+  /// point even on hardware that cannot run the wave concurrently (a
+  /// 1-hardware-thread box pays DFS expansions for results nobody may
+  /// ever consult). With this on, waves start at the pool width (trust
+  /// speculation until measured) and are then re-sized each round to
+  /// base + hit_rate * (pool - base), where base = min(pool width,
+  /// hardware threads) is the genuinely concurrent width and hit_rate is
+  /// the observed fraction of speculative searches whose results later
+  /// became cache hits (those searches were free). Output is
+  /// byte-identical for any wave size, so this knob moves statistics
+  /// only. No effect when the pool width is 1 or in non-exact modes.
+  bool adaptive_wave_sizing = true;
+  /// Cross-engine warm start (see grouping/search_cache.h): a borrowed
+  /// shared cache plus this engine's content key. When the key is valid
+  /// and exact mode applies (reuse on, no sampling, unlimited budgets),
+  /// the engine seeds its per-graph search cache from previously
+  /// published epoch-0 results of an identical-content engine and
+  /// publishes its own epoch-0 results back. Byte-identical warm or
+  /// cold; the cache must outlive the engine.
+  SearchResultCache* shared_cache = nullptr;
+  SearchCacheKey shared_cache_key;
 };
 
 struct IncrementalStats {
@@ -89,6 +119,16 @@ struct IncrementalStats {
   /// the point the replay stopped at). Pure speculation cost — their
   /// results still land in the reuse cache.
   uint64_t speculative_searches = 0;
+  /// Speculative searches whose stored result later served a cache hit:
+  /// speculation that retroactively became free. Each speculative search
+  /// is counted at most once (the entry's flag clears on its first hit),
+  /// so the ratio to speculative_searches — which drives adaptive wave
+  /// sizing — is a true fraction in [0, 1].
+  uint64_t speculative_hits = 0;
+  /// The subset of cache_hits served from a cross-engine warm-start entry
+  /// (IncrementalOptions::shared_cache): DFS work another engine already
+  /// paid for.
+  uint64_t warm_hits = 0;
   /// True once the engine gave up exactness: some search truncated or the
   /// total expansion budget ran out.
   bool truncated = false;
@@ -144,6 +184,11 @@ class IncrementalEngine {
     std::vector<GraphId> members;
     int count = 0;
     uint64_t validated_epoch = 0;
+    /// Seeded from the cross-engine shared cache (stats attribution).
+    bool warm = false;
+    /// Stored by wave speculation past the serial stop point; a later hit
+    /// on it proves the speculation was free (adaptive wave sizing).
+    bool speculative = false;
   };
 
   void InitUpperBounds();
@@ -155,10 +200,19 @@ class IncrementalEngine {
   /// Exact-mode scan: waves + serial replay + result reuse.
   void WaveScan(const std::vector<GraphId>& order, int best_count,
                 PivotSearcher::SearchResult* best);
-  /// Copies a still-valid cached pivot of `g` into `*out` (found = true).
+  /// Copies a still-valid cached pivot of `g` into `*out` (found = true)
+  /// and reports where the entry came from via the optional flags.
   /// Returns false (and drops stale entries) otherwise.
-  bool CacheLookup(GraphId g, PivotSearcher::SearchResult* out);
-  void CacheStore(GraphId g, const PivotSearcher::SearchResult& result);
+  bool CacheLookup(GraphId g, PivotSearcher::SearchResult* out,
+                   bool* warm = nullptr, bool* speculative = nullptr);
+  /// `speculative` marks results the serial scan would not have computed
+  /// this round. Epoch-0 results are also published to the shared
+  /// cross-engine cache when one is configured.
+  void CacheStore(GraphId g, const PivotSearcher::SearchResult& result,
+                  bool speculative);
+  /// Seeds search_cache_ from the shared cross-engine cache (constructor
+  /// helper; no-op unless options enable it).
+  void WarmStartFromSharedCache();
   /// Rebuilds the sampling mask from the first sample_size alive graphs of
   /// the fixed seeded permutation; returns false when sampling is off or
   /// unnecessary (alive count within sample_size).
@@ -167,6 +221,10 @@ class IncrementalEngine {
   GraphSet set_;
   IncrementalOptions options_;
   ThreadPool* pool_ = nullptr;
+  /// Resolved from options in the constructor: non-null only when exact
+  /// mode applies and the key is valid, so every use site can test this
+  /// single pointer.
+  SearchResultCache* shared_cache_ = nullptr;
   PivotSearcher searcher_;
   std::vector<int> lower_bounds_;  // Glo per graph
   std::vector<int> upper_bounds_;  // Gup per graph

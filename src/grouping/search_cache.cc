@@ -1,0 +1,98 @@
+#include "grouping/search_cache.h"
+
+namespace ustl {
+
+namespace {
+
+// Standard FNV-1a constants, plus a second offset basis (the first basis
+// with one decimal digit changed, a common trick for keyed variants) so
+// the two streams disagree on every input.
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+constexpr uint64_t kOffsetLo = 14695981039346656037ull;
+constexpr uint64_t kOffsetHi = 14695981039346656137ull;
+
+}  // namespace
+
+SearchKeyHasher::SearchKeyHasher() : lo_(kOffsetLo), hi_(kOffsetHi) {}
+
+void SearchKeyHasher::Bytes(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    lo_ = (lo_ ^ bytes[i]) * kFnvPrime;
+    hi_ = (hi_ ^ bytes[i]) * kFnvPrime;
+  }
+}
+
+void SearchKeyHasher::Str(std::string_view s) {
+  U64(s.size());
+  Bytes(s.data(), s.size());
+}
+
+void SearchKeyHasher::U64(uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  Bytes(bytes, sizeof(bytes));
+}
+
+SearchCacheKey SearchKeyHasher::Finish() const {
+  SearchCacheKey key;
+  key.lo = lo_;
+  key.hi = hi_;
+  // {0, 0} is reserved for "no key"; nudge the astronomically unlikely
+  // all-zero digest off the sentinel instead of letting it disable a key.
+  if (!key.valid()) key.lo = 1;
+  return key;
+}
+
+void SearchResultCache::Touch(const SearchCacheKey& key, KeyedPivots* entry,
+                              bool inserted) {
+  if (inserted) {
+    recency_.push_front(key);
+    entry->recency = recency_.begin();
+  } else {
+    recency_.splice(recency_.begin(), recency_, entry->recency);
+  }
+  if (options_.max_keys == 0) return;
+  while (entries_.size() > options_.max_keys) {
+    auto victim = entries_.find(recency_.back());
+    stats_.entries -= victim->second.pivots.size();
+    entries_.erase(victim);
+    recency_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::vector<std::pair<GraphId, CachedPivot>> SearchResultCache::WarmStart(
+    const SearchCacheKey& key) const {
+  std::vector<std::pair<GraphId, CachedPivot>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return out;
+  ++stats_.warm_starts;
+  recency_.splice(recency_.begin(), recency_, it->second.recency);
+  out.reserve(it->second.pivots.size());
+  for (const auto& [g, pivot] : it->second.pivots) out.emplace_back(g, pivot);
+  stats_.entries_served += out.size();
+  return out;
+}
+
+void SearchResultCache::Publish(const SearchCacheKey& key, GraphId g,
+                                CachedPivot pivot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.publishes;
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (it->second.pivots.emplace(g, std::move(pivot)).second) {
+    ++stats_.entries;
+  }
+  Touch(key, &it->second, inserted);
+}
+
+SearchCacheStats SearchResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SearchCacheStats out = stats_;
+  out.keys = entries_.size();
+  return out;
+}
+
+}  // namespace ustl

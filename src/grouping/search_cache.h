@@ -1,0 +1,156 @@
+// Cross-engine pivot-search result cache (ROADMAP "warm-start the search
+// cache across engines"). The pipeline and the serving layer rebuild a
+// GroupingEngine per column / per request, re-running round-one pivot
+// searches that an earlier engine with *identical content* already
+// resolved — replicated columns and repeated requests are the common case
+// in multi-source feeds. This cache closes that gap the same way the
+// OracleBroker closes it for verdicts: results are keyed by question
+// content, never by identity.
+//
+// Soundness. A pivot search's outcome over the full (epoch-0) alive set
+// is a pure function of the graphs, the interner ids and the inverted
+// index — all of which are deterministic functions of (the grouping
+// options that shape graph construction, the column's full ordered pair
+// list, the structure key). Two engines whose key material matches build
+// bit-identical GraphSets, so a cached {path, members, count} transfers
+// verbatim: GraphIds and LabelIds mean the same thing on both sides. Only
+// results computed against the untouched alive set (GraphSet::kill_epoch
+// == 0) are published; seeded entries then age through the borrowing
+// engine's normal kill-epoch revalidation. Reuse changes which searches
+// run, never what they return — output is byte-identical warm or cold.
+//
+// The key hashes the *ordered* pair list (not just the multiset): interner
+// ids — and therefore the canonical tie-break among equally large pivot
+// paths — depend on first-sight order, so two orderings of the same
+// multiset may legitimately disagree on the canonical pivot. Hashing the
+// order keeps reuse exactly as strong as the determinism contract allows.
+#ifndef USTL_GROUPING_SEARCH_CACHE_H_
+#define USTL_GROUPING_SEARCH_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dsl/interner.h"
+#include "graph/transformation_graph.h"
+
+namespace ustl {
+
+/// Content key of one GraphSet worth of searches: two independent FNV-1a
+/// streams over the same material, so an accidental 64-bit collision
+/// cannot silently cross-wire two different engines. {0, 0} is "no key".
+struct SearchCacheKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool valid() const { return lo != 0 || hi != 0; }
+  bool operator==(const SearchCacheKey& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+/// Incremental builder for SearchCacheKey. Strings are length-prefixed so
+/// field boundaries are unambiguous for arbitrary byte content (same
+/// convention as the oracle broker's cache key).
+class SearchKeyHasher {
+ public:
+  SearchKeyHasher();
+
+  void Bytes(const void* data, size_t size);
+  void Str(std::string_view s);
+  void U64(uint64_t v);
+
+  SearchCacheKey Finish() const;
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+/// One reusable epoch-0 pivot result: the canonical pivot path of a graph
+/// over the full alive set, with its member ids and count.
+struct CachedPivot {
+  LabelPath path;
+  std::vector<GraphId> members;
+  int count = 0;
+};
+
+struct SearchCacheStats {
+  /// WarmStart calls / the subset that found their key.
+  size_t lookups = 0;
+  size_t warm_starts = 0;
+  /// Pivots copied out across all warm starts (each one a DFS the
+  /// borrowing engine may now skip).
+  size_t entries_served = 0;
+  size_t publishes = 0;
+  /// Currently held distinct keys / pivots.
+  size_t keys = 0;
+  size_t entries = 0;
+  /// Whole keys dropped by the LRU bound (Options::max_keys). An evicted
+  /// engine's content simply re-searches on its next appearance.
+  size_t evictions = 0;
+};
+
+/// Thread-safe shared store. Owned by whatever outlives the engines that
+/// share it — the ConsolidationService for cross-request warmth, a
+/// pipeline run for cross-column warmth; engines borrow it through
+/// GroupingOptions::shared_search_cache.
+class SearchResultCache {
+ public:
+  struct Options {
+    /// Upper bound on distinct content keys held; least-recently-used
+    /// keys (an engine's whole pivot set) are evicted past it. 0 =
+    /// unbounded — fine for one-shot pipeline runs, but a long-lived
+    /// service fronting endless distinct tables should set a bound, the
+    /// same argument as OracleBroker::Options::max_cache_entries (and
+    /// these entries are much heavier than verdicts). Eviction only ever
+    /// costs repeated searches, never a changed byte.
+    size_t max_keys = 0;
+  };
+
+  SearchResultCache() = default;
+  explicit SearchResultCache(Options options) : options_(options) {}
+
+  /// All published pivots under `key` (empty when cold), as (graph id,
+  /// pivot) pairs in unspecified order. Copies, so the caller owns the
+  /// result outright. Refreshes the key's LRU position.
+  std::vector<std::pair<GraphId, CachedPivot>> WarmStart(
+      const SearchCacheKey& key) const;
+
+  /// Publishes one epoch-0 result. Re-publishing an existing (key, graph)
+  /// is a no-op: identical content implies an identical result.
+  void Publish(const SearchCacheKey& key, GraphId g, CachedPivot pivot);
+
+  SearchCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const SearchCacheKey& key) const {
+      return static_cast<size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct KeyedPivots {
+    std::unordered_map<GraphId, CachedPivot> pivots;
+    std::list<SearchCacheKey>::iterator recency;
+  };
+
+  /// Requires mutex_. Moves `key` to the recency front (inserting a list
+  /// node for new keys) and evicts LRU keys past the bound.
+  void Touch(const SearchCacheKey& key, KeyedPivots* entry, bool inserted);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<SearchCacheKey, KeyedPivots, KeyHash> entries_;
+  /// Keys, most recently used first; entries point into it.
+  mutable std::list<SearchCacheKey> recency_;
+  mutable SearchCacheStats stats_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_GROUPING_SEARCH_CACHE_H_

@@ -221,4 +221,23 @@ std::string WriteClusteredCsv(const ClusteredCsv& clustered,
   return out;
 }
 
+std::string WriteGoldenCsv(const ClusteredCsv& clustered,
+                           const std::vector<GoldenRecord>& golden) {
+  std::vector<CsvRow> rows;
+  rows.reserve(golden.size() + 1);
+  CsvRow header = {clustered.cluster_column};
+  for (const std::string& name : clustered.table.column_names()) {
+    header.push_back(name);
+  }
+  rows.push_back(std::move(header));
+  for (size_t c = 0; c < golden.size(); ++c) {
+    CsvRow row = {clustered.cluster_keys[c]};
+    for (const auto& value : golden[c]) {
+      row.push_back(value.value_or(""));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
 }  // namespace ustl

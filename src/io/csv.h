@@ -61,6 +61,13 @@ Result<ClusteredCsv> ReadClusteredCsv(std::string_view content,
 std::string WriteClusteredCsv(const ClusteredCsv& clustered,
                               ThreadPool* pool = nullptr);
 
+/// Renders golden records (one per cluster, truth-discovery output) as a
+/// CSV with the cluster key first and undecided values empty — the format
+/// the consolidation CLIs write with --golden. `golden` must be parallel
+/// to the clustered table's cluster indices.
+std::string WriteGoldenCsv(const ClusteredCsv& clustered,
+                           const std::vector<GoldenRecord>& golden);
+
 }  // namespace ustl
 
 #endif  // USTL_IO_CSV_H_

@@ -64,11 +64,10 @@ Verdict OracleBroker::VerifyWithContext(
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.questions;
   if (options_.cache_verdicts) {
-    auto it = cache_.find(request.key);
-    if (it != cache_.end()) {
+    if (const Verdict* verdict = CacheFind(request.key)) {
       ++stats_.cache_hits;
-      RecordVerdict(context, it->second);
-      return it->second;
+      RecordVerdict(context, *verdict);
+      return *verdict;
     }
   }
   queue_.push_back(&request);
@@ -95,9 +94,9 @@ Verdict OracleBroker::VerifyWithContext(
         Request* pending = batch[next];
         bool served = false;
         if (options_.cache_verdicts) {
-          auto it = cache_.find(pending->key);
-          if (it != cache_.end()) {  // a same-key twin was served first
-            pending->verdict = it->second;
+          // A same-key twin may have been served first.
+          if (const Verdict* verdict = CacheFind(pending->key)) {
+            pending->verdict = *verdict;
             ++stats_.cache_hits;
             served = true;
           }
@@ -121,7 +120,7 @@ Verdict OracleBroker::VerifyWithContext(
           }
           lock.lock();
           ++stats_.backend_calls;
-          if (options_.cache_verdicts) cache_.emplace(pending->key, verdict);
+          if (options_.cache_verdicts) CacheInsert(pending->key, verdict);
           pending->verdict = verdict;
         }
         RecordVerdict(pending->context, pending->verdict);
@@ -153,6 +152,29 @@ Verdict OracleBroker::VerifyWithContext(
   }
   draining_ = false;
   return request.verdict;
+}
+
+const Verdict* OracleBroker::CacheFind(const std::string& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  // Refresh recency: splice moves the node without invalidating the
+  // iterator stored in the entry.
+  recency_.splice(recency_.begin(), recency_, it->second.recency);
+  return &it->second.verdict;
+}
+
+void OracleBroker::CacheInsert(const std::string& key, const Verdict& verdict) {
+  recency_.push_front(key);
+  CacheEntry entry;
+  entry.verdict = verdict;
+  entry.recency = recency_.begin();
+  cache_.emplace(key, std::move(entry));
+  if (options_.max_cache_entries == 0) return;
+  while (cache_.size() > options_.max_cache_entries) {
+    cache_.erase(recency_.back());
+    recency_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 void OracleBroker::RecordVerdict(const QuestionContext& context,

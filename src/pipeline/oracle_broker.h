@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -48,6 +49,10 @@ struct OracleBrokerStats {
   size_t cache_hits = 0;
   size_t batches = 0;
   size_t max_batch = 0;
+  /// Verdicts dropped by the LRU bound (Options::max_cache_entries). An
+  /// evicted question re-asks the backend on its next appearance; the
+  /// order-independence contract keeps the re-asked verdict identical.
+  size_t evictions = 0;
 };
 
 class OracleBroker : public VerificationOracle {
@@ -56,6 +61,13 @@ class OracleBroker : public VerificationOracle {
     /// Cache verdicts by question content. Off = every question reaches
     /// the backend (the broker still batches and still builds the log).
     bool cache_verdicts = true;
+    /// Upper bound on cached verdicts; least-recently-used entries are
+    /// evicted past it (stats().evictions counts them). 0 = unbounded —
+    /// fine for one-shot pipeline runs, but a long-lived service fronting
+    /// endless requests should set a bound so the cache cannot grow
+    /// without limit. Eviction only ever costs a repeat question, never a
+    /// changed verdict (order-independence contract, consolidate/oracle.h).
+    size_t max_cache_entries = 0;
   };
 
   /// `backend` must outlive the broker. The broker serializes all calls
@@ -104,11 +116,26 @@ class OracleBroker : public VerificationOracle {
   /// Requires mutex_. Records an approved verdict for the log.
   void RecordVerdict(const QuestionContext& context, const Verdict& verdict);
 
+  /// Requires mutex_. Cache lookup that refreshes the entry's LRU
+  /// position; null on a miss.
+  const Verdict* CacheFind(const std::string& key);
+  /// Requires mutex_. Inserts a fresh verdict and evicts the
+  /// least-recently-used entries past the configured bound.
+  void CacheInsert(const std::string& key, const Verdict& verdict);
+
+  /// One cached verdict plus its position in the recency list.
+  struct CacheEntry {
+    Verdict verdict;
+    std::list<std::string>::iterator recency;
+  };
+
   VerificationOracle* backend_;
   Options options_;
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
-  std::unordered_map<std::string, Verdict> cache_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  /// Cache keys, most recently used first; entries point into it.
+  std::list<std::string> recency_;
   std::vector<Request*> queue_;
   bool draining_ = false;
   OracleBrokerStats stats_;

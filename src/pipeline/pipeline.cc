@@ -1,11 +1,9 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <memory>
-#include <mutex>
+#include <climits>
 
-#include "common/parallel.h"
-#include "consolidate/truth_discovery.h"
+#include "serve/service.h"
 
 namespace ustl {
 
@@ -14,71 +12,36 @@ ColumnScheduler::ColumnScheduler(PipelineOptions options)
 
 PipelineRun ColumnScheduler::Run(Table* table,
                                  VerificationOracle* backend) const {
-  const size_t num_columns = table->num_columns();
-  const int budget = ResolveThreadCount(options_.num_threads);
-  const int scheduler_threads =
-      options_.column_parallel && num_columns > 1
+  // One-shot delegation to the serving layer: a fresh service scoped to
+  // this call (cold broker and search cache, per the historical per-Run
+  // lifetime), one request, drained synchronously. The service reproduces
+  // the scheduler's budgeting — max_concurrent_jobs = 1 is the serial
+  // column loop with the whole budget handed to each engine; otherwise
+  // jobs split the budget — and its commit/fingerprint discipline is the
+  // one this layer pioneered, so output is unchanged byte for byte.
+  ServiceOptions service_options;
+  service_options.framework = options_.framework;
+  service_options.num_threads = options_.num_threads;
+  // Unlike the open-ended service, this facade knows the whole workload
+  // is one table: capping concurrent jobs at the column count makes the
+  // per-job split budget / min(budget, columns), so a wide budget over a
+  // narrow table still reaches the grouping engines instead of idling.
+  service_options.max_concurrent_jobs =
+      options_.column_parallel
           ? static_cast<int>(std::min<size_t>(
-                static_cast<size_t>(budget), num_columns))
+                table->num_columns(), static_cast<size_t>(INT_MAX)))
           : 1;
-  // Budget split with the remainder spread over the lowest column
-  // indices: any scheduler_threads jobs running concurrently include at
-  // most (budget % scheduler_threads) boosted ones, so the concurrent
-  // grouping threads never exceed the budget — and none of it idles.
-  const int per_column_base = std::max(1, budget / scheduler_threads);
-  const size_t per_column_boosted =
-      budget > scheduler_threads
-          ? static_cast<size_t>(budget % scheduler_threads)
-          : 0;
-
-  OracleBroker broker(backend, options_.broker);
-
-  // Serialize progress callbacks: column jobs fire them concurrently, but
-  // the user-supplied callback only ever runs in one thread at a time.
-  std::mutex progress_mutex;
-  const bool wrap_progress =
-      scheduler_threads > 1 && options_.framework.progress_callback != nullptr;
-
-  std::vector<Column> columns(num_columns);
-  std::vector<ColumnRunResult> results(num_columns);
-  for (size_t col = 0; col < num_columns; ++col) {
-    columns[col] = table->ExtractColumn(col);
-  }
-
-  auto job = [&](size_t col) {
-    FrameworkOptions framework = options_.framework;
-    framework.column_name = table->column_names()[col];
-    framework.grouping.num_threads =
-        per_column_base + (col < per_column_boosted ? 1 : 0);
-    if (wrap_progress) {
-      auto callback = options_.framework.progress_callback;
-      framework.progress_callback = [&progress_mutex, callback](
-                                        size_t presented,
-                                        const Column& column) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        callback(presented, column);
-      };
-    }
-    results[col] = StandardizeColumn(&columns[col], &broker, framework);
-  };
-
-  if (scheduler_threads > 1) {
-    ThreadPool pool(scheduler_threads);
-    ParallelFor(&pool, num_columns, job);
-  } else {
-    for (size_t col = 0; col < num_columns; ++col) job(col);
-  }
-
-  // Commit in column index order — the only table mutation point.
-  for (size_t col = 0; col < num_columns; ++col) {
-    table->StoreColumn(col, columns[col]);
-  }
+  service_options.broker = options_.broker;
+  service_options.share_search_cache = options_.warm_search_cache;
+  ConsolidationService service(backend, service_options);
+  const uint64_t handle = service.Submit(table);
+  RequestResult result = service.Wait(handle);
 
   PipelineRun run;
-  run.per_column = std::move(results);
-  run.golden_records = MajorityConsensus(*table);
-  run.oracle_stats = broker.stats();
-  run.approved_log = broker.ApprovedLog();
+  run.per_column = std::move(result.per_column);
+  run.golden_records = std::move(result.golden_records);
+  run.oracle_stats = service.stats().oracle;
+  run.approved_log = service.ApprovedLog();
   return run;
 }
 
@@ -121,12 +84,15 @@ GoldenRecordRun GoldenRecordCreation(Table* table, VerificationOracle* oracle,
   // Serial, cache-off pipeline configuration: the backend sees exactly the
   // question sequence the historical per-column loop produced, for any
   // oracle — including stateful ones that predate the order-independence
-  // contract.
+  // contract. The cross-column search warm start stays off too: identical
+  // output either way, but legacy callers comparing search statistics
+  // should see the historical counts.
   PipelineOptions pipeline;
   pipeline.framework = options;
   pipeline.column_parallel = false;
   pipeline.num_threads = options.grouping.num_threads;
   pipeline.broker.cache_verdicts = false;
+  pipeline.warm_search_cache = false;
   PipelineRun run = RunConsolidationPipeline(table, oracle, pipeline);
   GoldenRecordRun out;
   out.per_column = std::move(run.per_column);

@@ -13,12 +13,12 @@
 // schedule cannot leak into the output. SimulatedOracle, ApproveAllOracle
 // and the broker's cache all honor the contract.
 //
-// Thread budgeting: `num_threads` is the total budget. When columns run in
-// parallel the scheduler claims min(budget, columns) threads and hands
-// each column job budget/claimed threads for its GroupingEngine
-// (GroupingOptions::num_threads), so nested parallelism never
-// oversubscribes the machine; a serial run gives the whole budget to the
-// single active engine.
+// Thread budgeting: `num_threads` is the total budget. When columns run
+// in parallel the serving layer this delegates to runs up to `budget`
+// column jobs concurrently and hands each budget/workers threads for its
+// GroupingEngine (GroupingOptions::num_threads), so nested parallelism
+// never oversubscribes the machine; a serial run gives the whole budget
+// to the single active engine.
 #ifndef USTL_PIPELINE_PIPELINE_H_
 #define USTL_PIPELINE_PIPELINE_H_
 
@@ -48,6 +48,11 @@ struct PipelineOptions {
   /// engines as described above.
   int num_threads = 1;
   OracleBroker::Options broker;
+  /// Cross-column pivot-search warm start (grouping/search_cache.h): the
+  /// run owns one SearchResultCache, so a column whose content repeats an
+  /// earlier column's skips its round-one searches. Output is
+  /// byte-identical on or off; off only repeats searches.
+  bool warm_search_cache = true;
 };
 
 /// What a pipeline run produced, superset of GoldenRecordRun.
@@ -59,11 +64,13 @@ struct PipelineRun {
   std::vector<ApprovedTransformation> approved_log;
 };
 
-/// Drives GoldenRecordCreation through the scheduler + broker. The natural
-/// seam for future multi-table / server workloads — a serving layer would
-/// hoist the broker (today constructed per Run, so each call starts with a
-/// cold cache) into long-lived scheduler state and keep it warm across
-/// requests; see ROADMAP "Multi-table serving".
+/// Drives GoldenRecordCreation through the scheduler + broker. Since the
+/// serving layer landed, this is a thin one-shot facade over
+/// serve/service.h: each Run constructs a single-request
+/// ConsolidationService (fresh broker and search cache — Run-scoped
+/// warmth), submits the table and waits. Long-lived deployments that
+/// want caches persisting ACROSS tables use ConsolidationService
+/// directly.
 class ColumnScheduler {
  public:
   explicit ColumnScheduler(PipelineOptions options);

@@ -1,0 +1,344 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "consolidate/truth_discovery.h"
+
+namespace ustl {
+
+// Per-column-job oracle shim: forwards every question to the service's
+// shared broker, then streams the verdict as an event. One instance per
+// job, so the request/column attribution needs no lookup.
+class ServeEventOracle : public VerificationOracle {
+ public:
+  ServeEventOracle(ConsolidationService* service,
+                   ConsolidationService::Request* request, size_t column)
+      : service_(service), request_(request), column_(column) {}
+
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+    return VerifyWithContext(group_pairs, QuestionContext{});
+  }
+
+  Verdict VerifyWithContext(const std::vector<StringPair>& group_pairs,
+                            const QuestionContext& context) override {
+    Verdict verdict = service_->broker_.VerifyWithContext(group_pairs, context);
+    // This runs once per presented group — the pipeline's hot path now
+    // that it delegates here — so skip event construction (two string
+    // copies) outright for the common listener-less request.
+    if (!request_->on_event) return verdict;
+    ServeEvent event;
+    event.kind = ServeEvent::Kind::kVerdict;
+    event.column = request_->table->column_names()[column_];
+    event.column_index = column_;
+    event.presented = context.presented;
+    event.group_size = group_pairs.size();
+    event.approved = verdict.approved;
+    event.direction = verdict.direction;
+    event.program = std::string(context.program);
+    service_->Emit(*request_, std::move(event));
+    return verdict;
+  }
+
+ private:
+  ConsolidationService* service_;
+  ConsolidationService::Request* request_;
+  size_t column_;
+};
+
+ConsolidationService::ConsolidationService(VerificationOracle* backend,
+                                           ServiceOptions options)
+    : backend_(backend),
+      options_(std::move(options)),
+      budget_(ResolveThreadCount(options_.num_threads)),
+      workers_(options_.max_concurrent_jobs > 0
+                   ? std::min(budget_, options_.max_concurrent_jobs)
+                   : budget_),
+      per_job_threads_(std::max(1, budget_ / workers_)),
+      broker_(backend_, options_.broker),
+      search_cache_(options_.search_cache),
+      pool_(std::make_unique<ThreadPool>(workers_ + 1)) {
+  USTL_CHECK(backend_ != nullptr);
+  USTL_CHECK(options_.max_pending_requests > 0);
+  paused_ = options_.start_paused;
+  boost_tokens_ = budget_ % workers_;
+}
+
+ConsolidationService::~ConsolidationService() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  paused_ = false;
+  Pump();
+  idle_cv_.wait(lock, [&] { return active_.empty() && running_jobs_ == 0; });
+  // pool_ (declared last) is destroyed first, joining the — now idle —
+  // workers before any other member goes away.
+}
+
+uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
+  USTL_CHECK(table != nullptr);
+  auto owned = std::make_unique<Request>();
+  Request* request = owned.get();
+  request->table = table;
+  request->framework =
+      options.framework.has_value() ? *options.framework : options_.framework;
+  request->on_event = std::move(options.on_event);
+  const size_t num_columns = table->num_columns();
+  request->columns.resize(num_columns);
+  request->results.resize(num_columns);
+  // Extracted before admission so a blocked Submit holds no lock while
+  // copying a large table.
+  for (size_t col = 0; col < num_columns; ++col) {
+    request->columns[col] = table->ExtractColumn(col);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // admitting_ reserves this request's backlog slot across the unlock
+    // below, so concurrent Submits cannot all pass the check before any
+    // of them is counted — the bound holds under contention.
+    admission_cv_.wait(lock, [&] {
+      return active_.size() + admitting_ < options_.max_pending_requests;
+    });
+    ++admitting_;
+    request->id = next_id_++;
+    request->arrival = next_arrival_++;
+    request->label = options.label.empty()
+                         ? "request-" + std::to_string(request->id)
+                         : std::move(options.label);
+    requests_.emplace(request->id, std::move(owned));
+    ++requests_admitted_;
+  }
+
+  // Emitted before the request enters active_, so its event stream is
+  // guaranteed to open with kAdmitted — a worker cannot pick (and emit
+  // verdicts for) a request the consumer has not seen admitted. Emit
+  // never runs under mutex_, so a callback may read service state
+  // (stats(), CompletionOrder()); it still must not Submit/Wait (see
+  // RequestOptions::on_event).
+  ServeEvent event;
+  event.kind = ServeEvent::Kind::kAdmitted;
+  Emit(*request, std::move(event));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --admitting_;
+    active_.push_back(request);
+    max_concurrent_requests_ =
+        std::max(max_concurrent_requests_, active_.size());
+    Pump();
+  }
+  // A zero-column table has no jobs for the workers to complete it with;
+  // finalize inline (FinalizeRequest expects the request in active_).
+  if (num_columns == 0) FinalizeRequest(request);
+  return request->id;
+}
+
+RequestResult ConsolidationService::Wait(uint64_t handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = requests_.find(handle);
+  USTL_CHECK(it != requests_.end());
+  Request* request = it->second.get();
+  done_cv_.wait(lock, [&] { return request->done; });
+  std::exception_ptr error = request->error;
+  RequestResult result = std::move(request->result);
+  requests_.erase(it);
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+  return result;
+}
+
+void ConsolidationService::Resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  Pump();
+}
+
+std::vector<uint64_t> ConsolidationService::CompletionOrder() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completion_order_;
+}
+
+ServiceStats ConsolidationService::stats() const {
+  ServiceStats out;
+  out.oracle = broker_.stats();
+  out.search_cache = search_cache_.stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.requests_admitted = requests_admitted_;
+  out.requests_completed = requests_completed_;
+  out.columns_dispatched = columns_dispatched_;
+  out.max_concurrent_requests = max_concurrent_requests_;
+  return out;
+}
+
+std::vector<ApprovedTransformation> ConsolidationService::ApprovedLog() const {
+  return broker_.ApprovedLog();
+}
+
+void ConsolidationService::Pump() {
+  if (paused_) return;
+  size_t pending = 0;
+  for (const Request* request : active_) {
+    pending += request->columns.size() - request->dispatched;
+  }
+  while (running_jobs_ < workers_ && pending > 0) {
+    ++running_jobs_;
+    --pending;
+    pool_->Submit([this] { RunJobs(); });
+  }
+}
+
+bool ConsolidationService::PickJob(Request** request, size_t* column) {
+  // Weighted round-robin (see the file comment): one column per request
+  // per cycle, requests within a cycle ordered fewest-remaining-first
+  // with arrival breaking ties.
+  for (;;) {
+    Request* pick = nullptr;
+    bool any_undispatched = false;
+    for (Request* candidate : active_) {
+      if (candidate->dispatched == candidate->columns.size()) continue;
+      any_undispatched = true;
+      if (candidate->granted_cycle >= cycle_) continue;  // served this cycle
+      if (pick == nullptr) {
+        pick = candidate;
+        continue;
+      }
+      const size_t candidate_left =
+          candidate->columns.size() - candidate->dispatched;
+      const size_t pick_left = pick->columns.size() - pick->dispatched;
+      if (candidate_left < pick_left ||
+          (candidate_left == pick_left &&
+           candidate->arrival < pick->arrival)) {
+        pick = candidate;
+      }
+    }
+    if (pick == nullptr) {
+      if (!any_undispatched) return false;
+      ++cycle_;  // every hungry request was served this cycle; next round
+      continue;
+    }
+    pick->granted_cycle = cycle_;
+    *request = pick;
+    *column = pick->dispatched++;
+    return true;
+  }
+}
+
+void ConsolidationService::RunJobs() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Request* request = nullptr;
+    size_t column = 0;
+    if (paused_ || !PickJob(&request, &column)) break;
+    ++columns_dispatched_;
+    // Take a budget-remainder boost token when one is free (returned
+    // below), so the whole --threads budget reaches the engines even
+    // when it does not divide evenly across the workers.
+    const bool boosted = boost_tokens_ > 0;
+    if (boosted) --boost_tokens_;
+    lock.unlock();
+    ExecuteColumn(request, column, per_job_threads_ + (boosted ? 1 : 0));
+    if (boosted) {
+      std::lock_guard<std::mutex> boost_lock(mutex_);
+      ++boost_tokens_;
+    }
+
+    // Emit before publishing completion: as long as this column is not
+    // counted done, no other worker can finalize the request, so the
+    // request cannot be erased by a concurrent Wait under our feet.
+    if (request->on_event) {
+      const ColumnRunResult& result = request->results[column];
+      ServeEvent event;
+      event.kind = ServeEvent::Kind::kColumnDone;
+      event.column = request->table->column_names()[column];
+      event.column_index = column;
+      event.groups_presented = result.groups_presented;
+      event.groups_approved = result.groups_approved;
+      event.edits = result.edits;
+      Emit(*request, std::move(event));
+    }
+
+    lock.lock();
+    ++request->completed;
+    const bool last_column = request->completed == request->columns.size();
+    lock.unlock();
+    // completed == columns implies dispatched == columns, so exactly one
+    // worker — the one finishing the last column — finalizes.
+    if (last_column) FinalizeRequest(request);
+    lock.lock();
+  }
+  --running_jobs_;
+  idle_cv_.notify_all();
+}
+
+void ConsolidationService::ExecuteColumn(Request* request, size_t column,
+                                         int grouping_threads) {
+  try {
+    FrameworkOptions framework = request->framework;
+    framework.column_name = request->table->column_names()[column];
+    framework.grouping.num_threads = grouping_threads;
+    framework.grouping.shared_search_cache =
+        options_.share_search_cache ? &search_cache_ : nullptr;
+    if (framework.progress_callback != nullptr && workers_ > 1) {
+      auto callback = request->framework.progress_callback;
+      framework.progress_callback = [this, callback](size_t presented,
+                                                     const Column& state) {
+        std::lock_guard<std::mutex> lock(progress_mutex_);
+        callback(presented, state);
+      };
+    }
+    ServeEventOracle oracle(this, request, column);
+    request->results[column] =
+        StandardizeColumn(&request->columns[column], &oracle, framework);
+  } catch (...) {
+    // First failure wins; the request still drains (remaining columns run
+    // and the broker stays usable) and Wait rethrows.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (request->error == nullptr) request->error = std::current_exception();
+  }
+}
+
+void ConsolidationService::FinalizeRequest(Request* request) {
+  if (request->error == nullptr) {
+    // The only mutation of the caller's table, in column index order —
+    // same commit discipline as the pipeline.
+    for (size_t col = 0; col < request->columns.size(); ++col) {
+      request->table->StoreColumn(col, request->columns[col]);
+    }
+    request->result.per_column = std::move(request->results);
+    request->result.golden_records = MajorityConsensus(*request->table);
+  }
+  // The working copies are committed (or abandoned on error); drop them
+  // now instead of pinning a full table until Wait collects the handle.
+  request->columns.clear();
+  request->columns.shrink_to_fit();
+  request->results.clear();
+  request->results.shrink_to_fit();
+
+  ServeEvent event;
+  event.kind = ServeEvent::Kind::kRequestDone;
+  for (const ColumnRunResult& result : request->result.per_column) {
+    event.groups_presented += result.groups_presented;
+    event.groups_approved += result.groups_approved;
+    event.edits += result.edits;
+  }
+  // Emit before `done` is published: once done is observable, a waiting
+  // thread may erase the request.
+  Emit(*request, std::move(event));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  request->done = true;
+  completion_order_.push_back(request->id);
+  ++requests_completed_;
+  active_.erase(std::find(active_.begin(), active_.end(), request));
+  done_cv_.notify_all();
+  admission_cv_.notify_all();
+}
+
+void ConsolidationService::Emit(const Request& request, ServeEvent event) {
+  if (!request.on_event) return;
+  event.request = request.id;
+  event.label = request.label;
+  std::lock_guard<std::mutex> lock(event_mutex_);
+  request.on_event(event);
+}
+
+}  // namespace ustl

@@ -1,0 +1,277 @@
+// The long-lived consolidation service (ROADMAP "Multi-table serving").
+// The pipeline's ColumnScheduler standardizes one table per Run call and
+// throws its warm state away afterwards; a serving deployment faces a
+// *stream* of independent tables and wants the opposite: one ThreadPool,
+// one OracleBroker (verdict cache + replay log persisting across
+// requests) and one cross-engine SearchResultCache, alive for the
+// process lifetime, with concurrent tables admitted fairly and verdicts
+// streamed back per request — the shape long-lived query engines use to
+// amortize index and cache warmth over independent queries.
+//
+// Fairness. Admitted requests are served by a weighted round-robin over
+// their column jobs: each cycle grants every active request one column,
+// requests within a cycle ordered by fewest remaining columns first
+// (arrival order breaks ties). A small table therefore drains within one
+// cycle of arriving — a huge table ahead of it in the queue cannot
+// starve it — while the huge table keeps receiving every slot nobody
+// smaller needs. Admission itself is bounded (ServiceOptions::
+// max_pending_requests): Submit blocks until the backlog drains, the
+// standard back-pressure contract.
+//
+// Determinism contract. Per-table output is byte-identical to a serial
+// single-table run for ANY thread count, admission interleaving and
+// cache state. The ingredients are the ones the pipeline established:
+// column jobs touch only their own column and commit in index order;
+// verdicts are pure functions of question content (oracle
+// order-independence contract), so the shared broker cache — and its LRU
+// evictions — change only how often the backend is asked; pivot-search
+// results are pure functions of engine content, so the shared search
+// cache changes only how many searches run. Event *interleaving* across
+// concurrent requests is scheduling-dependent; the per-request event
+// sequence is not.
+#ifndef USTL_SERVE_SERVICE_H_
+#define USTL_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "consolidate/framework.h"
+#include "grouping/search_cache.h"
+#include "pipeline/oracle_broker.h"
+
+namespace ustl {
+
+struct ServiceOptions {
+  /// Default per-request framework configuration (budget, grouping
+  /// knobs...). `framework.column_name` and `framework.grouping
+  /// .num_threads` are overwritten per column job; a non-null
+  /// `framework.progress_callback` is serialized exactly like the
+  /// pipeline's (never entered concurrently).
+  FrameworkOptions framework;
+  /// Total thread budget (0 = hardware concurrency): split between the
+  /// concurrently running column jobs and their grouping engines, so
+  /// nested parallelism never oversubscribes.
+  int num_threads = 1;
+  /// Cap on column jobs running simultaneously; 0 = the thread budget.
+  /// 1 reproduces a strictly serial per-column loop (the pipeline's
+  /// column_parallel = false) whatever the budget — each job then gets
+  /// the whole budget for its grouping engine.
+  int max_concurrent_jobs = 0;
+  /// Shared broker configuration. The verdict cache lives as long as the
+  /// service, so long-lived deployments should set
+  /// `broker.max_cache_entries`.
+  OracleBroker::Options broker;
+  /// Share one cross-engine pivot-search cache across all requests (see
+  /// grouping/search_cache.h): a column whose content repeats an earlier
+  /// column's — in this request or any previous one — skips its round-one
+  /// searches. Byte-identical on or off.
+  bool share_search_cache = true;
+  /// Bounds for the shared search cache; like the broker's verdict
+  /// cache, a long-lived service should set `search_cache.max_keys` so
+  /// a stream of distinct tables cannot grow it without limit.
+  SearchResultCache::Options search_cache;
+  /// Bound on requests admitted but not yet completed; Submit blocks
+  /// while the backlog is at the bound.
+  size_t max_pending_requests = 64;
+  /// Construct the service with dispatch paused: requests queue up but no
+  /// column job starts until Resume(). Lets tests and benches admit a
+  /// whole workload atomically so the fairness order is reproducible.
+  /// Waiting on a paused service without calling Resume() deadlocks.
+  bool start_paused = false;
+};
+
+/// One streamed service event. kVerdict events carry the broker's answer
+/// for one presented group; kColumnDone / kRequestDone carry the
+/// accumulated counters.
+struct ServeEvent {
+  enum class Kind { kAdmitted, kVerdict, kColumnDone, kRequestDone };
+  Kind kind = Kind::kAdmitted;
+  uint64_t request = 0;
+  std::string label;
+  /// Column being standardized (kVerdict / kColumnDone).
+  std::string column;
+  size_t column_index = 0;
+  /// kVerdict: 1-based presentation rank within the column, group size,
+  /// verdict and the (possibly empty) pivot program.
+  size_t presented = 0;
+  size_t group_size = 0;
+  bool approved = false;
+  ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
+  std::string program;
+  /// kColumnDone: the column's totals. kRequestDone: the request's.
+  size_t groups_presented = 0;
+  size_t groups_approved = 0;
+  size_t edits = 0;
+};
+
+struct RequestOptions {
+  /// Display label for events and logs; defaults to "request-<id>".
+  std::string label;
+  /// Overrides the service's default framework configuration (e.g. a
+  /// per-table budget).
+  std::optional<FrameworkOptions> framework;
+  /// Streamed events for this request. Invocations are serialized across
+  /// the whole service (one event at a time, from any request), so the
+  /// callback may touch unsynchronized state; events of concurrent
+  /// requests interleave in scheduling order. The callback runs under
+  /// the service's event lock: it must NOT call back into the service
+  /// (Submit/Wait/Resume would self-deadlock) — hand follow-up work to
+  /// another thread instead.
+  std::function<void(const ServeEvent&)> on_event;
+};
+
+/// What one request produced; the table passed to Submit has been
+/// standardized in place by the time Wait returns.
+struct RequestResult {
+  std::vector<ColumnRunResult> per_column;
+  std::vector<GoldenRecord> golden_records;
+};
+
+struct ServiceStats {
+  OracleBrokerStats oracle;
+  SearchCacheStats search_cache;
+  size_t requests_admitted = 0;
+  size_t requests_completed = 0;
+  size_t columns_dispatched = 0;
+  /// High-water mark of concurrently admitted (incomplete) requests.
+  size_t max_concurrent_requests = 0;
+};
+
+class ConsolidationService {
+ public:
+  /// `backend` answers every question of every request through the shared
+  /// broker; it must outlive the service and satisfy the
+  /// order-independence contract (consolidate/oracle.h) — the service
+  /// serializes calls into it, so it need not be thread-safe.
+  ConsolidationService(VerificationOracle* backend, ServiceOptions options);
+
+  /// Drains: resumes a paused service and blocks until every admitted
+  /// request completed.
+  ~ConsolidationService();
+
+  ConsolidationService(const ConsolidationService&) = delete;
+  ConsolidationService& operator=(const ConsolidationService&) = delete;
+
+  /// Admits `table` and returns its request handle. The table is
+  /// standardized in place; it must stay alive and untouched until Wait
+  /// returns (or the service is destroyed). Blocks while the admission
+  /// queue is full.
+  uint64_t Submit(Table* table, RequestOptions request = {});
+
+  /// Blocks until the request completed and returns its result (each
+  /// handle can be waited once). Rethrows the first exception the
+  /// request's column jobs surfaced (e.g. a backend failure). A handle
+  /// that is never waited keeps its (post-finalize, working-copies-freed)
+  /// result alive for the service lifetime; garbage-collecting abandoned
+  /// handles is a recorded follow-on.
+  RequestResult Wait(uint64_t handle);
+
+  /// Starts dispatch on a service constructed with start_paused.
+  void Resume();
+
+  /// Request handles in completion order — the observable the fairness
+  /// policy is judged by.
+  std::vector<uint64_t> CompletionOrder() const;
+
+  ServiceStats stats() const;
+
+  /// The shared broker's deduplicated approved-transformation log,
+  /// accumulated across every request served so far (replay.h).
+  std::vector<ApprovedTransformation> ApprovedLog() const;
+
+  /// Resolved number of concurrently running column jobs.
+  int workers() const { return workers_; }
+
+ private:
+  struct Request {
+    uint64_t id = 0;
+    std::string label;
+    Table* table = nullptr;
+    FrameworkOptions framework;
+    std::function<void(const ServeEvent&)> on_event;
+    std::vector<Column> columns;
+    std::vector<ColumnRunResult> results;
+    size_t dispatched = 0;  // columns handed to workers (== next column)
+    size_t completed = 0;   // columns finished
+    uint64_t arrival = 0;
+    uint64_t granted_cycle = 0;  // fairness: last round-robin cycle served
+    bool done = false;
+    std::exception_ptr error;  // first failing column's exception
+    RequestResult result;
+  };
+
+  /// Requires mutex_. Submits worker loops until every slot is busy or no
+  /// job is dispatchable.
+  void Pump();
+  /// Worker loop: picks and runs column jobs until none remain.
+  void RunJobs();
+  /// Requires mutex_. Fairness policy (see file comment); false when no
+  /// active request has an undispatched column.
+  bool PickJob(Request** request, size_t* column);
+  /// Runs one column job on `grouping_threads` (no lock held); failures
+  /// land in request->error.
+  void ExecuteColumn(Request* request, size_t column, int grouping_threads);
+  /// Commits columns, runs truth discovery and marks the request done.
+  void FinalizeRequest(Request* request);
+  /// Serialized event delivery.
+  void Emit(const Request& request, ServeEvent event);
+
+  friend class ServeEventOracle;
+
+  VerificationOracle* backend_;
+  ServiceOptions options_;
+  int budget_ = 1;   // resolved thread budget
+  int workers_ = 1;  // resolved concurrent column jobs
+  /// Grouping threads per column job: every job gets budget / workers,
+  /// and the budget % workers remainder circulates as boost tokens — a
+  /// dispatching job takes one when available (mutex_-guarded
+  /// boost_tokens_) and returns it on completion, so concurrently
+  /// running jobs never exceed the budget and none of it idles.
+  int per_job_threads_ = 1;
+  OracleBroker broker_;
+  SearchResultCache search_cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;       // request completions
+  std::condition_variable admission_cv_;  // queue-space waiters
+  std::condition_variable idle_cv_;       // destructor drain
+  std::unordered_map<uint64_t, std::unique_ptr<Request>> requests_;
+  std::vector<Request*> active_;  // admitted, not finalized; arrival order
+  std::vector<uint64_t> completion_order_;
+  uint64_t next_id_ = 1;
+  uint64_t next_arrival_ = 0;
+  uint64_t cycle_ = 1;  // fairness round-robin cycle
+  /// Requests past the admission check but not yet in active_ (their
+  /// kAdmitted event is being emitted outside the lock); counted against
+  /// max_pending_requests so concurrent Submits cannot overshoot it.
+  size_t admitting_ = 0;
+  int running_jobs_ = 0;
+  int boost_tokens_ = 0;  // see per_job_threads_
+  bool paused_ = false;
+  size_t requests_admitted_ = 0;
+  size_t requests_completed_ = 0;
+  size_t columns_dispatched_ = 0;
+  size_t max_concurrent_requests_ = 0;
+
+  std::mutex event_mutex_;     // serializes on_event callbacks
+  std::mutex progress_mutex_;  // serializes framework progress callbacks
+
+  /// Declared last: destroyed first, which joins the workers while every
+  /// member they touch is still alive. Sized workers_ + 1 because a
+  /// ThreadPool spawns num_threads - 1 real threads (the missing lane is
+  /// the ParallelFor caller, which an asynchronous service never is).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_SERVE_SERVICE_H_

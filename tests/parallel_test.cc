@@ -364,5 +364,72 @@ TEST(ParallelDeterminismTest, FiniteBudgetKeepsTheLazySerialOrder) {
   }
 }
 
+// ISSUE 5: adaptive wave sizing moves speculation statistics only — the
+// group sequence stays byte-identical to the serial baseline for any
+// thread count, with sizing on or off.
+TEST(ParallelDeterminismTest, AdaptiveWaveSizingKeepsGroupsIdentical) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  auto run = [&](int threads, bool adaptive) {
+    GroupingOptions options;
+    options.num_threads = threads;
+    options.adaptive_wave_sizing = adaptive;
+    GroupingEngine engine(pairs, options);
+    std::vector<Group> groups;
+    while (std::optional<Group> group = engine.Next()) {
+      groups.push_back(std::move(*group));
+    }
+    return groups;
+  };
+  std::vector<Group> baseline = run(1, true);
+  ASSERT_GT(baseline.size(), 5u);
+  for (int threads : {1, 2, 4}) {
+    for (bool adaptive : {true, false}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " adaptive=" << adaptive);
+      ExpectSameGroups(baseline, run(threads, adaptive));
+    }
+  }
+}
+
+// ISSUE 5: the cross-engine search cache warm-starts an identical-content
+// engine — fewer searches, some warm hits — without changing one byte of
+// the group sequence, for any thread count on either side.
+TEST(ParallelDeterminismTest, SharedSearchCacheWarmStartIsByteIdentical) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  auto run = [&](int threads, SearchResultCache* cache,
+                 IncrementalStats* stats) {
+    GroupingOptions options;
+    options.num_threads = threads;
+    options.shared_search_cache = cache;
+    GroupingEngine engine(pairs, options);
+    std::vector<Group> groups;
+    while (std::optional<Group> group = engine.Next()) {
+      groups.push_back(std::move(*group));
+    }
+    if (stats != nullptr) *stats = engine.stats();
+    return groups;
+  };
+  IncrementalStats cold_stats;
+  std::vector<Group> baseline = run(1, nullptr, &cold_stats);
+  ASSERT_GT(baseline.size(), 5u);
+
+  SearchResultCache cache;
+  IncrementalStats publish_stats;
+  ExpectSameGroups(baseline, run(1, &cache, &publish_stats));
+  EXPECT_EQ(publish_stats.warm_hits, 0u);  // nothing published yet
+  EXPECT_GT(cache.stats().publishes, 0u);
+  EXPECT_GT(cache.stats().entries, 0u);
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    IncrementalStats warm_stats;
+    ExpectSameGroups(baseline, run(threads, &cache, &warm_stats));
+    EXPECT_GT(warm_stats.warm_hits, 0u);
+    EXPECT_LT(warm_stats.searches, cold_stats.searches);
+  }
+}
+
 }  // namespace
 }  // namespace ustl

@@ -117,6 +117,38 @@ TEST(OracleBrokerTest, ConcurrentDuplicateAsksReachTheBackendOnce) {
   EXPECT_EQ(stats.cache_hits, static_cast<size_t>(kThreads) - 1);
 }
 
+TEST(OracleBrokerTest, LruBoundEvictsLeastRecentlyUsedVerdicts) {
+  CountingOracle backend;
+  OracleBroker::Options options;
+  options.max_cache_entries = 2;
+  OracleBroker broker(&backend, options);
+  broker.Verify(Question("1"));  // cache: {1}
+  broker.Verify(Question("2"));  // cache: {1, 2}
+  broker.Verify(Question("1"));  // hit; 1 is now most recent
+  broker.Verify(Question("3"));  // evicts 2 (LRU), cache: {1, 3}
+  EXPECT_EQ(backend.calls(), 3u);
+  EXPECT_EQ(broker.stats().evictions, 1u);
+  broker.Verify(Question("1"));  // still cached
+  EXPECT_EQ(backend.calls(), 3u);
+  // 2 was evicted: re-asking reaches the backend again (and evicts 3).
+  broker.Verify(Question("2"));
+  EXPECT_EQ(backend.calls(), 4u);
+  OracleBrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.questions, 6u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(OracleBrokerTest, UnboundedCacheNeverEvicts) {
+  CountingOracle backend;
+  OracleBroker broker(&backend);  // max_cache_entries = 0
+  for (int i = 0; i < 50; ++i) broker.Verify(Question(std::to_string(i)));
+  for (int i = 0; i < 50; ++i) broker.Verify(Question(std::to_string(i)));
+  EXPECT_EQ(backend.calls(), 50u);
+  EXPECT_EQ(broker.stats().evictions, 0u);
+  EXPECT_EQ(broker.stats().cache_hits, 50u);
+}
+
 // Throws on the first call, approves afterwards.
 class FlakyOracle : public VerificationOracle {
  public:

@@ -1,0 +1,348 @@
+// Tests for src/serve: the long-lived ConsolidationService. Pins the
+// ISSUE 5 acceptance matrix — per-table byte-identity against a serial
+// single-table run across threads {1,2,4} x admission-order permutations
+// x warm/cold cache state — plus the weighted round-robin fairness
+// policy, the streamed event contract, bounded admission, the
+// cross-request search-cache warmth and error propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "consolidate/oracle.h"
+#include "pipeline/pipeline.h"
+#include "serve/service.h"
+
+namespace ustl {
+namespace {
+
+constexpr size_t kBudget = 20;
+
+// A small clustered table whose values form one obvious variant family
+// per cluster ("<tag><i> Street" vs "<tag><i> St"), replicated into
+// `columns` identical columns. Distinct tags make distinct tables;
+// identical tags make byte-identical content (the cross-request reuse
+// case).
+Table MakeTable(const std::string& tag, size_t columns, int clusters) {
+  std::vector<std::string> names;
+  for (size_t i = 1; i <= columns; ++i) {
+    names.push_back("value" + std::to_string(i));
+  }
+  Table table(names);
+  for (int i = 1; i <= clusters; ++i) {
+    const std::string n = tag + std::to_string(i);
+    const size_t c = table.AddCluster();
+    table.AddRecord(c, std::vector<std::string>(columns, n + " Street"));
+    table.AddRecord(c, std::vector<std::string>(columns, n + " St"));
+    table.AddRecord(c, std::vector<std::string>(columns, n + " St"));
+  }
+  return table;
+}
+
+FrameworkOptions TestFramework() {
+  FrameworkOptions framework;
+  framework.budget_per_column = kBudget;
+  return framework;
+}
+
+// The contract's reference point: a serial single-table pipeline run.
+std::string SerialFingerprint(Table table) {
+  ApproveAllOracle oracle;
+  PipelineOptions options;
+  options.framework = TestFramework();
+  PipelineRun run = RunConsolidationPipeline(&table, &oracle, options);
+  return FingerprintConsolidation(table, run.golden_records);
+}
+
+TEST(ConsolidationServiceTest,
+     ByteIdenticalAcrossThreadsAdmissionOrdersAndWarmth) {
+  // Three tables: two distinct, one repeating the first's content (so the
+  // shared caches fire across requests within a round too).
+  const std::vector<Table> originals = {MakeTable("Oak", 1, 6),
+                                        MakeTable("Pine", 2, 5),
+                                        MakeTable("Oak", 1, 6)};
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  ASSERT_NE(baselines[0], baselines[1]);
+  ASSERT_EQ(baselines[0], baselines[2]);  // same content, same output
+
+  for (int threads : {1, 2, 4}) {
+    for (const std::vector<size_t>& order :
+         {std::vector<size_t>{0, 1, 2}, std::vector<size_t>{2, 1, 0}}) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads << " order="
+                                      << order[0] << order[1] << order[2]);
+      ServiceOptions options;
+      options.framework = TestFramework();
+      options.num_threads = threads;
+      ApproveAllOracle oracle;
+      ConsolidationService service(&oracle, options);
+      // Two rounds through the same service: round 1 runs cold, round 2
+      // against verdict/search caches warmed by round 1.
+      for (int round = 1; round <= 2; ++round) {
+        std::vector<Table> tables = originals;
+        std::vector<uint64_t> handles(tables.size());
+        for (size_t t : order) {
+          handles[t] = service.Submit(&tables[t]);
+        }
+        for (size_t t : order) {
+          RequestResult result = service.Wait(handles[t]);
+          EXPECT_EQ(FingerprintConsolidation(tables[t],
+                                             result.golden_records),
+                    baselines[t])
+              << "table " << t << " round " << round;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConsolidationServiceTest, FairnessSmallTableOvertakesHugeTable) {
+  // A huge table admitted first and a 1-column table admitted second:
+  // under weighted round-robin the small table gets the very next column
+  // slot and completes while the huge one is mid-flight. start_paused
+  // makes the dispatch order reproducible (both requests are queued
+  // before any job runs), and one worker makes it fully deterministic.
+  Table huge = MakeTable("Huge", 5, 6);
+  Table small = MakeTable("Tiny", 1, 3);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 1;
+  options.start_paused = true;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  const uint64_t huge_handle = service.Submit(&huge);
+  const uint64_t small_handle = service.Submit(&small);
+  service.Resume();
+  service.Wait(small_handle);
+  service.Wait(huge_handle);
+  const std::vector<uint64_t> order = service.CompletionOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], small_handle);
+  EXPECT_EQ(order[1], huge_handle);
+  EXPECT_EQ(service.stats().max_concurrent_requests, 2u);
+}
+
+TEST(ConsolidationServiceTest, WarmSearchCacheSkipsRepeatedSearches) {
+  ServiceOptions options;
+  options.framework = TestFramework();
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+
+  auto run_once = [&](uint64_t* searches, uint64_t* warm_hits) {
+    Table table = MakeTable("Elm", 1, 8);
+    RequestResult result = service.Wait(service.Submit(&table));
+    *searches = 0;
+    *warm_hits = 0;
+    for (const ColumnRunResult& column : result.per_column) {
+      *searches += column.grouping.searches;
+      *warm_hits += column.grouping.warm_hits;
+    }
+  };
+
+  uint64_t cold_searches = 0, cold_warm_hits = 0;
+  run_once(&cold_searches, &cold_warm_hits);
+  EXPECT_GT(cold_searches, 0u);
+  EXPECT_EQ(cold_warm_hits, 0u);
+
+  uint64_t warm_searches = 0, warm_warm_hits = 0;
+  run_once(&warm_searches, &warm_warm_hits);
+  EXPECT_GT(warm_warm_hits, 0u);
+  EXPECT_LT(warm_searches, cold_searches);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.search_cache.publishes, 0u);
+  EXPECT_GT(stats.search_cache.warm_starts, 0u);
+  EXPECT_GT(stats.search_cache.entries_served, 0u);
+}
+
+TEST(ConsolidationServiceTest, StreamsOrderedEventsPerRequest) {
+  Table table = MakeTable("Birch", 2, 5);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<ServeEvent> events;  // serialized callback: no lock needed
+  RequestOptions request;
+  request.label = "birch";
+  request.on_event = [&](const ServeEvent& event) {
+    events.push_back(event);
+  };
+  RequestResult result = service.Wait(service.Submit(&table, request));
+
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, ServeEvent::Kind::kAdmitted);
+  EXPECT_EQ(events.back().kind, ServeEvent::Kind::kRequestDone);
+  EXPECT_EQ(events.front().label, "birch");
+
+  size_t verdicts = 0;
+  size_t columns_done = 0;
+  std::map<std::string, size_t> last_rank;
+  for (const ServeEvent& event : events) {
+    if (event.kind == ServeEvent::Kind::kVerdict) {
+      ++verdicts;
+      // Presentation ranks are 1-based and strictly increasing per
+      // column, whatever the cross-column interleaving.
+      EXPECT_EQ(event.presented, last_rank[event.column] + 1);
+      last_rank[event.column] = event.presented;
+      EXPECT_GT(event.group_size, 0u);
+    } else if (event.kind == ServeEvent::Kind::kColumnDone) {
+      ++columns_done;
+    }
+  }
+  size_t presented_total = 0;
+  for (const ColumnRunResult& column : result.per_column) {
+    presented_total += column.groups_presented;
+  }
+  EXPECT_EQ(verdicts, presented_total);
+  EXPECT_EQ(columns_done, table.num_columns());
+  EXPECT_EQ(events.back().groups_presented, presented_total);
+}
+
+TEST(ConsolidationServiceTest, EventStreamOpensWithAdmittedUnderLoad) {
+  // A request submitted while workers are already busy must still see
+  // kAdmitted as its first event — admission is emitted before the
+  // request becomes pickable.
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 2;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables = {MakeTable("Alder", 3, 6),
+                               MakeTable("Cedar", 1, 4),
+                               MakeTable("Maple", 2, 5)};
+  // One vector per request; callbacks are serialized service-wide, so
+  // unsynchronized writes are safe.
+  std::vector<std::vector<ServeEvent::Kind>> kinds(tables.size());
+  std::vector<uint64_t> handles(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    RequestOptions request;
+    request.on_event = [&kinds, t](const ServeEvent& event) {
+      kinds[t].push_back(event.kind);
+    };
+    handles[t] = service.Submit(&tables[t], std::move(request));
+  }
+  for (uint64_t handle : handles) service.Wait(handle);
+  for (size_t t = 0; t < tables.size(); ++t) {
+    ASSERT_FALSE(kinds[t].empty()) << t;
+    EXPECT_EQ(kinds[t].front(), ServeEvent::Kind::kAdmitted) << t;
+    EXPECT_EQ(kinds[t].back(), ServeEvent::Kind::kRequestDone) << t;
+  }
+}
+
+TEST(ConsolidationServiceTest, BoundedAdmissionStillDrainsEverything) {
+  const std::string baseline = SerialFingerprint(MakeTable("Ash", 1, 5));
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 2;
+  options.max_pending_requests = 1;  // every Submit waits for the backlog
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables(3, MakeTable("Ash", 1, 5));
+  std::vector<uint64_t> handles;
+  for (Table& table : tables) {
+    handles.push_back(service.Submit(&table));
+  }
+  for (size_t t = 0; t < tables.size(); ++t) {
+    RequestResult result = service.Wait(handles[t]);
+    EXPECT_EQ(FingerprintConsolidation(tables[t], result.golden_records),
+              baseline);
+  }
+  EXPECT_EQ(service.stats().requests_completed, 3u);
+}
+
+TEST(ConsolidationServiceTest, SharedBrokerDeduplicatesAcrossRequests) {
+  // Identical tables admitted back to back: the second request's
+  // questions are all verdict-cache hits, so the backend hears each
+  // distinct question once per service lifetime.
+  Table first = MakeTable("Fir", 1, 6);
+  Table second = MakeTable("Fir", 1, 6);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  SimulatedOracle oracle(
+      [](const StringPair& pair) { return pair.lhs.size() != pair.rhs.size(); },
+      nullptr, SimulatedOracle::Options{});
+  ConsolidationService service(&oracle, options);
+  service.Wait(service.Submit(&first));
+  const OracleBrokerStats after_first = service.stats().oracle;
+  service.Wait(service.Submit(&second));
+  const OracleBrokerStats after_second = service.stats().oracle;
+  EXPECT_GT(after_first.backend_calls, 0u);
+  EXPECT_EQ(after_second.backend_calls, after_first.backend_calls);
+  EXPECT_GT(after_second.cache_hits, after_first.cache_hits);
+  EXPECT_EQ(FingerprintConsolidation(first, {}),
+            FingerprintConsolidation(second, {}));
+}
+
+// Throws on every question mentioning "Poison".
+class PoisonOracle : public VerificationOracle {
+ public:
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+    for (const StringPair& pair : group_pairs) {
+      if (pair.lhs.find("Poison") != std::string::npos) {
+        throw std::runtime_error("backend refused");
+      }
+    }
+    Verdict verdict;
+    verdict.approved = true;
+    return verdict;
+  }
+};
+
+TEST(ConsolidationServiceTest, BackendFailureSurfacesInWaitAndServiceLives) {
+  Table poisoned = MakeTable("Poison", 1, 4);
+  Table healthy = MakeTable("Willow", 1, 4);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  PoisonOracle oracle;
+  ConsolidationService service(&oracle, options);
+  const uint64_t bad = service.Submit(&poisoned);
+  EXPECT_THROW(service.Wait(bad), std::runtime_error);
+  // The service survives a failed request: later requests run normally.
+  RequestResult result = service.Wait(service.Submit(&healthy));
+  EXPECT_EQ(FingerprintConsolidation(healthy, result.golden_records),
+            SerialFingerprint(MakeTable("Willow", 1, 4)));
+}
+
+TEST(SearchResultCacheTest, KeyBoundEvictsLeastRecentlyUsed) {
+  SearchResultCache::Options options;
+  options.max_keys = 2;
+  SearchResultCache cache(options);
+  auto key = [](uint64_t tag) {
+    SearchKeyHasher hasher;
+    hasher.U64(tag);
+    return hasher.Finish();
+  };
+  CachedPivot pivot;
+  pivot.path = {1, 2};
+  pivot.members = {0};
+  pivot.count = 1;
+  cache.Publish(key(1), 0, pivot);  // keys: {1}
+  cache.Publish(key(2), 0, pivot);  // keys: {1, 2}
+  EXPECT_EQ(cache.WarmStart(key(1)).size(), 1u);  // 1 is now most recent
+  cache.Publish(key(3), 0, pivot);  // evicts 2 (LRU)
+  EXPECT_EQ(cache.WarmStart(key(1)).size(), 1u);
+  EXPECT_EQ(cache.WarmStart(key(3)).size(), 1u);
+  EXPECT_TRUE(cache.WarmStart(key(2)).empty());
+  const SearchCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.keys, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ConsolidationServiceTest, ZeroColumnTableCompletesImmediately) {
+  Table empty(std::vector<std::string>{});
+  ServiceOptions options;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  RequestResult result = service.Wait(service.Submit(&empty));
+  EXPECT_TRUE(result.per_column.empty());
+  EXPECT_EQ(service.stats().requests_completed, 1u);
+}
+
+}  // namespace
+}  // namespace ustl

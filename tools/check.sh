@@ -50,12 +50,49 @@ for config in "--threads 4" "--search-cache off" \
 done
 echo "wave-scan/search-cache smoke: byte-identical"
 
+# Multi-table serving byte-compare (ISSUE 5 acceptance): three concurrent
+# tables through one long-lived ustl-serve service must match a serial
+# per-table ustl-consolidate run byte for byte, across --threads {1,4} x
+# two admission orders x warm/cold cache (--repeat 2: round 2 runs
+# against the round-1-warmed verdict + search caches).
+./build/ustl-generate --dataset address --scale 0.05 --seed 21 \
+  --out build/serve_a.csv
+./build/ustl-generate --dataset journaltitle --scale 0.05 --seed 22 \
+  --out build/serve_b.csv
+./build/ustl-generate --dataset address --scale 0.03 --seed 23 --columns 2 \
+  --out build/serve_c.csv
+for t in a b c; do
+  ./build/ustl-consolidate --input build/serve_$t.csv \
+    --output build/serve_$t.base.csv --approve all --budget 40
+done
+printf '%s\n' \
+  "id=a input=build/serve_a.csv output=build/serve_a.out.csv budget=40" \
+  "id=b input=build/serve_b.csv output=build/serve_b.out.csv budget=40" \
+  "id=c input=build/serve_c.csv output=build/serve_c.out.csv budget=40" \
+  > build/serve_fwd.txt
+printf '%s\n' \
+  "id=c input=build/serve_c.csv output=build/serve_c.out.csv budget=40" \
+  "id=b input=build/serve_b.csv output=build/serve_b.out.csv budget=40" \
+  "id=a input=build/serve_a.csv output=build/serve_a.out.csv budget=40" \
+  > build/serve_rev.txt
+for threads in 1 4; do
+  for manifest in serve_fwd serve_rev; do
+    ./build/ustl-serve --manifest build/$manifest.txt --threads "$threads" \
+      --repeat 2
+    for t in a b c; do
+      cmp build/serve_$t.base.csv build/serve_$t.out.csv
+      cmp build/serve_$t.base.csv build/serve_$t.out.csv.r2
+    done
+  done
+done
+echo "multi-table serve smoke: byte-identical"
+
 if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DUSTL_TSAN=ON
   cmake --build build-tsan -j"$JOBS" --target parallel_test grouping_test \
-    pipeline_test
+    pipeline_test serve_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "parallel_test|grouping_test|pipeline_test")
+    -R "parallel_test|grouping_test|pipeline_test|serve_test")
 fi
 
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then

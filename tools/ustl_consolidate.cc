@@ -73,7 +73,8 @@ void Usage() {
       "content;\nverdicts are unchanged, the oracle is just asked "
       "less.\n"
       "--search-cache reuses still-exact pivot-search results across "
-      "grouping\nrounds; groups are byte-identical either way, off only "
+      "grouping\nrounds and warm-starts identical-content columns from "
+      "each other;\ngroups are byte-identical either way, off only "
       "repeats searches.\n"
       "--replay applies a previously saved transformation log (--log "
       "output)\ninstead of running verification; no questions are "
@@ -229,6 +230,7 @@ int main(int argc, char** argv) {
     pipeline.column_parallel = args.column_parallel;
     pipeline.num_threads = args.threads;
     pipeline.broker.cache_verdicts = args.oracle_cache == "on";
+    pipeline.warm_search_cache = args.search_cache == "on";
     PipelineRun run = RunConsolidationPipeline(&table, &approve_all,
                                                pipeline);
     for (size_t col = 0; col < table.num_columns(); ++col) {
@@ -282,20 +284,7 @@ int main(int argc, char** argv) {
 
   if (!args.golden.empty()) {
     std::vector<GoldenRecord> golden = MajorityConsensus(table);
-    std::vector<CsvRow> rows;
-    CsvRow header = {clustered->cluster_column};
-    for (const std::string& name : table.column_names()) {
-      header.push_back(name);
-    }
-    rows.push_back(std::move(header));
-    for (size_t c = 0; c < golden.size(); ++c) {
-      CsvRow row = {clustered->cluster_keys[c]};
-      for (const auto& value : golden[c]) {
-        row.push_back(value.value_or(""));
-      }
-      rows.push_back(std::move(row));
-    }
-    status = WriteStringToFile(args.golden, WriteCsv(rows));
+    status = WriteStringToFile(args.golden, WriteGoldenCsv(*clustered, golden));
     if (!status.ok()) return Fail(status);
     std::printf("wrote %zu golden records to %s\n", golden.size(),
                 args.golden.c_str());

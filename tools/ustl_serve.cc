@@ -1,0 +1,363 @@
+// Multi-table consolidation server driver (serve/service.h as a CLI).
+//
+//   ustl-serve --manifest workload.txt [--threads N] [--repeat R]
+//              [--oracle-cache on|off] [--search-cache on|off]
+//              [--max-cache-entries N] [--budget N] [--events]
+//
+// The manifest describes a workload: one table per line, admitted in file
+// order and standardized concurrently by one long-lived
+// ConsolidationService (shared thread pool, shared verdict cache, shared
+// cross-engine search cache). Lines are whitespace-separated key=value
+// fields; '#' starts a comment:
+//
+//   # id defaults to the input path, budget to --budget,
+//   # cluster-col to "cluster".
+//   id=addresses input=a.csv output=a.out.csv golden=a.golden.csv budget=40
+//   id=journals  input=b.csv output=b.out.csv
+//
+// Every group is auto-approved (the ApproveAllOracle — interleaved
+// interactive prompts from concurrent tables would be meaningless), so
+// per-table output is byte-identical to `ustl-consolidate --approve all`
+// on the same input for ANY --threads value, admission order and cache
+// state: the determinism contract the service inherits from the
+// pipeline.
+//
+// --repeat R replays the whole workload R times through the SAME service
+// (fresh table copies each round; round r >= 2 outputs get an ".rR"
+// suffix). Later rounds run against warm verdict/search caches — the
+// summary lines show the oracle calls and pivot searches the warmth
+// saved. --events streams one JSON line per service event; events of
+// concurrent tables interleave in scheduling order (per-table order is
+// deterministic).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "consolidate/oracle.h"
+#include "io/csv.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace ustl;
+
+struct ManifestEntry {
+  std::string id;
+  std::string input;
+  std::string output;
+  std::string golden;
+  std::string cluster_col = "cluster";
+  size_t budget = 0;  // 0 = the --budget default
+};
+
+struct Args {
+  std::string manifest;
+  int threads = 1;
+  size_t budget = 100;
+  size_t repeat = 1;
+  size_t max_cache_entries = 0;
+  std::string oracle_cache = "on";
+  std::string search_cache = "on";
+  bool events = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ustl-serve --manifest FILE\n"
+      "                  [--threads N (default: 1; 0 = all cores)]\n"
+      "                  [--budget N (default: 100)]\n"
+      "                  [--repeat R (default: 1)]\n"
+      "                  [--oracle-cache on|off (default: on)]\n"
+      "                  [--search-cache on|off (default: on)]\n"
+      "                  [--max-cache-entries N (default: 0 = unbounded)]\n"
+      "                  [--events]\n"
+      "\n"
+      "Runs a manifest of tables concurrently through one long-lived\n"
+      "consolidation service; per-table output is byte-identical to a\n"
+      "serial `ustl-consolidate --approve all` run for any thread count,\n"
+      "admission order and cache state. Manifest lines are key=value\n"
+      "fields: input= output= [id=] [golden=] [budget=] [cluster-col=].\n"
+      "--repeat replays the workload through the same (warm) service;\n"
+      "round r >= 2 outputs get an .rR suffix.\n");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Minimal JSON string escaping for event/summary lines (programs and
+// labels may contain quotes and backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* EventKindName(ServeEvent::Kind kind) {
+  switch (kind) {
+    case ServeEvent::Kind::kAdmitted:
+      return "admitted";
+    case ServeEvent::Kind::kVerdict:
+      return "verdict";
+    case ServeEvent::Kind::kColumnDone:
+      return "column_done";
+    case ServeEvent::Kind::kRequestDone:
+      return "request_done";
+  }
+  return "unknown";
+}
+
+void PrintEvent(const ServeEvent& event) {
+  // The service serializes on_event invocations, so printf lines never
+  // interleave mid-line.
+  std::printf("{\"event\": \"%s\", \"request\": %llu, \"label\": \"%s\"",
+              EventKindName(event.kind),
+              static_cast<unsigned long long>(event.request),
+              JsonEscape(event.label).c_str());
+  if (event.kind == ServeEvent::Kind::kVerdict) {
+    std::printf(", \"column\": \"%s\", \"presented\": %zu, \"size\": %zu, "
+                "\"approved\": %s, \"direction\": \"%s\", \"program\": "
+                "\"%s\"",
+                JsonEscape(event.column).c_str(), event.presented,
+                event.group_size, event.approved ? "true" : "false",
+                event.direction == ReplaceDirection::kLhsToRhs ? "lhs->rhs"
+                                                               : "rhs->lhs",
+                JsonEscape(event.program).c_str());
+  } else if (event.kind == ServeEvent::Kind::kColumnDone ||
+             event.kind == ServeEvent::Kind::kRequestDone) {
+    if (event.kind == ServeEvent::Kind::kColumnDone) {
+      std::printf(", \"column\": \"%s\"", JsonEscape(event.column).c_str());
+    }
+    std::printf(", \"presented\": %zu, \"approved\": %zu, \"edits\": %zu",
+                event.groups_presented, event.groups_approved, event.edits);
+  }
+  std::printf("}\n");
+  std::fflush(stdout);
+}
+
+Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content) {
+  std::vector<ManifestEntry> entries;
+  size_t line_start = 0;
+  size_t line_number = 0;
+  while (line_start <= content.size()) {
+    size_t line_end = content.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = content.size();
+    std::string line = content.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+
+    ManifestEntry entry;
+    bool any_field = false;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() && std::isspace(
+                 static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      size_t end = pos;
+      while (end < line.size() && !std::isspace(
+                 static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      if (end == pos) break;
+      const std::string token = line.substr(pos, end - pos);
+      pos = end;
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("manifest line " +
+                                       std::to_string(line_number) +
+                                       ": expected key=value, got '" +
+                                       token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      any_field = true;
+      if (key == "id") {
+        entry.id = value;
+      } else if (key == "input") {
+        entry.input = value;
+      } else if (key == "output") {
+        entry.output = value;
+      } else if (key == "golden") {
+        entry.golden = value;
+      } else if (key == "cluster-col") {
+        entry.cluster_col = value;
+      } else if (key == "budget") {
+        entry.budget = std::strtoull(value.c_str(), nullptr, 10);
+      } else {
+        return Status::InvalidArgument("manifest line " +
+                                       std::to_string(line_number) +
+                                       ": unknown key '" + key + "'");
+      }
+    }
+    if (!any_field) continue;  // blank / comment-only line
+    if (entry.input.empty() || entry.output.empty()) {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_number) +
+                                     ": input= and output= are required");
+    }
+    if (entry.id.empty()) entry.id = entry.input;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--manifest") == 0) {
+      args.manifest = next("--manifest");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      args.threads = std::atoi(next("--threads"));
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      args.budget = std::strtoull(next("--budget"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0) {
+      args.repeat = std::strtoull(next("--repeat"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-cache-entries") == 0) {
+      args.max_cache_entries =
+          std::strtoull(next("--max-cache-entries"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--oracle-cache") == 0) {
+      args.oracle_cache = next("--oracle-cache");
+    } else if (std::strcmp(argv[i], "--search-cache") == 0) {
+      args.search_cache = next("--search-cache");
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      args.events = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (args.manifest.empty() || args.repeat == 0 ||
+      (args.oracle_cache != "on" && args.oracle_cache != "off") ||
+      (args.search_cache != "on" && args.search_cache != "off")) {
+    Usage();
+    return 2;
+  }
+
+  Result<std::string> manifest_content = ReadFileToString(args.manifest);
+  if (!manifest_content.ok()) return Fail(manifest_content.status());
+  Result<std::vector<ManifestEntry>> entries =
+      ParseManifest(*manifest_content);
+  if (!entries.ok()) return Fail(entries.status());
+  if (entries->empty()) {
+    std::fprintf(stderr, "manifest %s lists no tables\n",
+                 args.manifest.c_str());
+    return 2;
+  }
+
+  // Read every input once; each round standardizes a fresh copy.
+  std::vector<ClusteredCsv> originals;
+  originals.reserve(entries->size());
+  for (const ManifestEntry& entry : *entries) {
+    Result<std::string> content = ReadFileToString(entry.input);
+    if (!content.ok()) return Fail(content.status());
+    Result<ClusteredCsv> clustered =
+        ReadClusteredCsv(*content, entry.cluster_col);
+    if (!clustered.ok()) return Fail(clustered.status());
+    originals.push_back(std::move(*clustered));
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  service_options.broker.cache_verdicts = args.oracle_cache == "on";
+  service_options.broker.max_cache_entries = args.max_cache_entries;
+  service_options.share_search_cache = args.search_cache == "on";
+  service_options.framework.budget_per_column = args.budget;
+  service_options.framework.grouping.reuse_search_results =
+      args.search_cache == "on";
+  ApproveAllOracle approve_all;
+  ConsolidationService service(&approve_all, service_options);
+  std::printf("serving %zu table(s) x %zu round(s) on %d worker(s)\n",
+              entries->size(), args.repeat, service.workers());
+
+  ServiceStats previous;  // cumulative stats at the last round boundary
+  for (size_t round = 1; round <= args.repeat; ++round) {
+    std::vector<ClusteredCsv> tables = originals;  // fresh copies
+    std::vector<uint64_t> handles(entries->size());
+    Timer timer;
+    for (size_t t = 0; t < entries->size(); ++t) {
+      RequestOptions request;
+      request.label = (*entries)[t].id;
+      if ((*entries)[t].budget > 0) {
+        FrameworkOptions framework = service_options.framework;
+        framework.budget_per_column = (*entries)[t].budget;
+        request.framework = framework;
+      }
+      if (args.events) request.on_event = PrintEvent;
+      handles[t] = service.Submit(&tables[t].table, std::move(request));
+    }
+
+    uint64_t searches = 0;
+    uint64_t warm_hits = 0;
+    for (size_t t = 0; t < entries->size(); ++t) {
+      const ManifestEntry& entry = (*entries)[t];
+      RequestResult result = service.Wait(handles[t]);
+      for (const ColumnRunResult& column : result.per_column) {
+        searches += column.grouping.searches;
+        warm_hits += column.grouping.warm_hits;
+      }
+      const std::string suffix =
+          round == 1 ? "" : ".r" + std::to_string(round);
+      Status status = WriteStringToFile(entry.output + suffix,
+                                        WriteClusteredCsv(tables[t]));
+      if (!status.ok()) return Fail(status);
+      if (!entry.golden.empty()) {
+        status = WriteStringToFile(
+            entry.golden + suffix,
+            WriteGoldenCsv(tables[t], result.golden_records));
+        if (!status.ok()) return Fail(status);
+      }
+    }
+
+    const double seconds = timer.ElapsedSeconds();
+    const ServiceStats now = service.stats();
+    std::printf(
+        "{\"round\": %zu, \"tables\": %zu, \"seconds\": %.4f, "
+        "\"tables_per_sec\": %.2f, \"questions\": %zu, "
+        "\"oracle_calls\": %zu, \"oracle_cache_hits\": %zu, "
+        "\"oracle_evictions\": %zu, \"searches\": %llu, "
+        "\"search_warm_hits\": %llu, \"warm_started_engines\": %zu}\n",
+        round, entries->size(), seconds,
+        seconds > 0 ? static_cast<double>(entries->size()) / seconds : 0.0,
+        now.oracle.questions - previous.oracle.questions,
+        now.oracle.backend_calls - previous.oracle.backend_calls,
+        now.oracle.cache_hits - previous.oracle.cache_hits,
+        now.oracle.evictions - previous.oracle.evictions,
+        static_cast<unsigned long long>(searches),
+        static_cast<unsigned long long>(warm_hits),
+        now.search_cache.warm_starts - previous.search_cache.warm_starts);
+    previous = now;
+  }
+  return 0;
+}
