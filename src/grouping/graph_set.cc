@@ -4,7 +4,8 @@ namespace ustl {
 
 Result<GraphSet> GraphSet::Build(const std::vector<StringPair>& pairs,
                                  const GraphBuilder& builder,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const IndexBuildOptions& index_options) {
   GraphSet set;
   std::vector<GraphBuilder::BuildRequest> requests;
   requests.reserve(pairs.size());
@@ -20,7 +21,8 @@ Result<GraphSet> GraphSet::Build(const std::vector<StringPair>& pairs,
   // is bit-identical to a serial build either way).
   set.index_ = InvertedIndex::Build(
       set.graphs_, pool, /*num_shards=*/0,
-      builder.interner() != nullptr ? builder.interner()->size() : 0);
+      builder.interner() != nullptr ? builder.interner()->size() : 0,
+      index_options);
   set.alive_.assign(set.graphs_.size(), 1);
   set.interner_ = builder.interner();
   return set;

@@ -34,6 +34,36 @@ void SearchKeyHasher::U64(uint64_t v) {
   Bytes(bytes, sizeof(bytes));
 }
 
+void SearchKeyHasher::Pairs(const std::vector<StringPair>& pairs) {
+  // Must absorb exactly the byte stream of Str(lhs); Str(rhs) per pair —
+  // existing shared-cache keys depend on it — but keeps the two hash
+  // accumulators in locals across the whole batch instead of re-loading
+  // and re-storing the members once per field.
+  uint64_t lo = lo_;
+  uint64_t hi = hi_;
+  const auto mix = [&lo, &hi](const unsigned char* bytes, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      lo = (lo ^ bytes[i]) * kFnvPrime;
+      hi = (hi ^ bytes[i]) * kFnvPrime;
+    }
+  };
+  const auto field = [&mix](const std::string& s) {
+    unsigned char len[8];
+    const uint64_t size = s.size();
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<unsigned char>(size >> (8 * i));
+    }
+    mix(len, sizeof(len));
+    mix(reinterpret_cast<const unsigned char*>(s.data()), s.size());
+  };
+  for (const StringPair& pair : pairs) {
+    field(pair.lhs);
+    field(pair.rhs);
+  }
+  lo_ = lo;
+  hi_ = hi;
+}
+
 SearchCacheKey SearchKeyHasher::Finish() const {
   SearchCacheKey key;
   key.lo = lo_;

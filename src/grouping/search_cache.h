@@ -38,6 +38,7 @@
 
 #include "dsl/interner.h"
 #include "graph/transformation_graph.h"
+#include "grouping/group.h"
 
 namespace ustl {
 
@@ -54,6 +55,16 @@ struct SearchCacheKey {
   }
 };
 
+/// Hash functor for unordered containers keyed by SearchCacheKey. Shared
+/// by the search-result cache below and the oracle broker's verdict cache
+/// (pipeline/oracle_broker.h), which keys by the same 128-bit digest
+/// instead of materializing each question's bytes into a string key.
+struct SearchCacheKeyHash {
+  size_t operator()(const SearchCacheKey& key) const {
+    return static_cast<size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
 /// Incremental builder for SearchCacheKey. Strings are length-prefixed so
 /// field boundaries are unambiguous for arbitrary byte content (same
 /// convention as the oracle broker's cache key).
@@ -64,6 +75,12 @@ class SearchKeyHasher {
   void Bytes(const void* data, size_t size);
   void Str(std::string_view s);
   void U64(uint64_t v);
+  /// Batched equivalent of Str(pair.lhs); Str(pair.rhs) per pair: the
+  /// same byte stream (so existing keys are stable), absorbed in one
+  /// fused pass with the hash state in registers. Every per-engine and
+  /// per-question content key is dominated by its pair list, which makes
+  /// this the hot path of key construction.
+  void Pairs(const std::vector<StringPair>& pairs);
 
   SearchCacheKey Finish() const;
 
@@ -129,11 +146,6 @@ class SearchResultCache {
   SearchCacheStats stats() const;
 
  private:
-  struct KeyHash {
-    size_t operator()(const SearchCacheKey& key) const {
-      return static_cast<size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull));
-    }
-  };
   struct KeyedPivots {
     std::unordered_map<GraphId, CachedPivot> pivots;
     std::list<SearchCacheKey>::iterator recency;
@@ -145,7 +157,8 @@ class SearchResultCache {
 
   Options options_;
   mutable std::mutex mutex_;
-  mutable std::unordered_map<SearchCacheKey, KeyedPivots, KeyHash> entries_;
+  mutable std::unordered_map<SearchCacheKey, KeyedPivots, SearchCacheKeyHash>
+      entries_;
   /// Keys, most recently used first; entries point into it.
   mutable std::list<SearchCacheKey> recency_;
   mutable SearchCacheStats stats_;

@@ -1,0 +1,168 @@
+#include "index/block_postings.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ustl {
+
+const BlockPostingStore::LabelRef BlockPostingStore::kEmptyRef;
+
+namespace {
+
+// Frame-of-reference byte cost of postings[begin .. end) as one block
+// (header + three packed streams), the currency of the greedy partition
+// decision. Mirrors ForPackedCodec's layout without running it.
+size_t ForCostBytes(const PostingList& list, size_t begin, size_t end) {
+  if (end - begin <= 1) return 0;
+  uint32_t max_dg = 0, max_s = 0, max_e = 0;
+  for (size_t i = begin + 1; i < end; ++i) {
+    max_dg = std::max(max_dg, list[i].graph() - list[i - 1].graph());
+    max_s = std::max(max_s, static_cast<uint32_t>(list[i].start()));
+    max_e = std::max(max_e, static_cast<uint32_t>(list[i].end()));
+  }
+  auto width = [](uint32_t v) {
+    size_t w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w;
+  };
+  const size_t n = end - begin - 1;
+  auto packed = [n](size_t w) { return (n * w + 7) / 8; };
+  return 3 + packed(width(max_dg)) + packed(width(max_s)) +
+         packed(width(max_e));
+}
+
+}  // namespace
+
+BlockPostingStore BlockPostingStore::Encode(
+    std::vector<PostingList>&& lists, const BlockPostingsOptions& options) {
+  BlockPostingStore store;
+  store.labels_.resize(lists.size());
+
+  // Per-block metadata (24 bytes) the greedy rule charges a split with.
+  constexpr size_t kBlockMetaBytes = sizeof(Block);
+
+  std::vector<size_t> run_starts;  // graph-run boundaries of one list
+  for (size_t label = 0; label < lists.size(); ++label) {
+    PostingList list = std::move(lists[label]);
+    lists[label].shrink_to_fit();  // release the raw list as we go
+    LabelRef& ref = store.labels_[label];
+    ref.count = static_cast<uint32_t>(list.size());
+    if (list.empty()) continue;
+    ref.last_graph = list.back().graph();
+
+    // Graph-run boundaries; the run count is the distinct-graph count.
+    run_starts.clear();
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i == 0 || list[i].graph() != list[i - 1].graph()) {
+        run_starts.push_back(i);
+      }
+    }
+    ref.distinct = static_cast<uint32_t>(run_starts.size());
+
+    if (list.size() <= options.small_list_cutoff) {
+      ref.offset = static_cast<uint32_t>(store.words_.size());
+      ref.num_blocks = 0;
+      store.words_.insert(store.words_.end(), list.begin(), list.end());
+      continue;
+    }
+
+    ref.offset = static_cast<uint32_t>(store.blocks_.size());
+    run_starts.push_back(list.size());  // sentinel: end of the last run
+
+    // Cut [begin, end) block spans on run boundaries.
+    size_t begin = 0;
+    uint32_t distinct_prefix = 0;
+    size_t run = 0;
+    while (begin < list.size()) {
+      // The block always takes at least its first run, even when that
+      // run alone exceeds every size cap — a graph must never straddle
+      // blocks (the per-run join and the distinct bounds rely on it).
+      size_t end = run_starts[run + 1];
+      size_t runs_taken = 1;
+      while (end < list.size()) {
+        const size_t next_end = run_starts[run + runs_taken + 1];
+        if (end - begin >= options.target_block_size) break;
+        if (next_end - begin > options.max_block_size) break;
+        if (options.greedy_partition) {
+          // Close early when merging the next run costs more than the
+          // split (fresh block metadata + two independent encodings).
+          const size_t merged = ForCostBytes(list, begin, next_end);
+          const size_t split = ForCostBytes(list, begin, end) +
+                               kBlockMetaBytes +
+                               ForCostBytes(list, end, next_end);
+          if (merged > split) break;
+        }
+        end = next_end;
+        ++runs_taken;
+      }
+
+      Block block;
+      block.first_bits = list[begin].bits();
+      block.payload_offset = static_cast<uint32_t>(store.payload_.size());
+      block.count = static_cast<uint32_t>(end - begin);
+      block.distinct_prefix = distinct_prefix;
+      size_t encoded_bytes = 0;
+      block.codec =
+          ChoosePostingCodec(list.data() + begin, end - begin, &encoded_bytes);
+      PostingCodec::Get(block.codec)
+          .Encode(list.data() + begin, end - begin, &store.payload_);
+      // Offsets are 32-bit by design (a 4 GiB compressed payload is far
+      // past the in-RAM sizes this layer targets); fail loudly, not
+      // silently, if an input ever crosses it.
+      USTL_CHECK(store.payload_.size() <= 0xffffffffu);
+      store.blocks_.push_back(block);
+      distinct_prefix += static_cast<uint32_t>(runs_taken);
+      begin = end;
+      run += runs_taken;
+    }
+    ref.num_blocks =
+        static_cast<uint32_t>(store.blocks_.size() - ref.offset);
+    USTL_DCHECK(distinct_prefix == ref.distinct);
+  }
+  lists.clear();
+  return store;
+}
+
+void BlockPostingStore::Materialize(LabelId id, PostingList* out) const {
+  out->clear();
+  const LabelRef& ref = label(id);
+  out->resize(ref.count);
+  if (ref.count == 0) return;
+  if (ref.num_blocks == 0) {
+    std::copy(SmallSpan(ref), SmallSpan(ref) + ref.count, out->begin());
+    return;
+  }
+  size_t at = 0;
+  for (size_t b = 0; b < ref.num_blocks; ++b) {
+    DecodeBlock(ref, b, out->data() + at);
+    at += blocks_[ref.offset + b].count;
+  }
+  USTL_DCHECK(at == ref.count);
+}
+
+BlockPostingStore::MemoryStats BlockPostingStore::memory() const {
+  MemoryStats stats;
+  stats.payload_bytes = payload_.size();
+  stats.directory_bytes = labels_.size() * sizeof(LabelRef) +
+                          blocks_.size() * sizeof(Block);
+  stats.words_bytes = words_.size() * sizeof(Posting);
+  stats.blocks = blocks_.size();
+  for (const Block& block : blocks_) {
+    if (block.codec == PostingCodecId::kVarint) {
+      ++stats.varint_blocks;
+    } else {
+      ++stats.for_blocks;
+    }
+  }
+  for (const LabelRef& ref : labels_) {
+    stats.postings += ref.count;
+    if (ref.num_blocks == 0 && ref.count > 0) ++stats.small_lists;
+  }
+  return stats;
+}
+
+}  // namespace ustl

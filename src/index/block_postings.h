@@ -1,0 +1,144 @@
+// Block-compressed posting storage behind InvertedIndex's kBlock codec.
+// Every label's list is cut into blocks whose boundaries ALWAYS fall on
+// graph-run boundaries: a graph's postings never straddle two blocks.
+// That single invariant carries the whole design — the per-block join
+// (inverted_index.cc) can sort/dedup/hash each graph run locally exactly
+// like the raw path, per-block distinct-graph counts are exact (a block's
+// distinct count is its run count), and the inclusive max-graph bound of
+// block b is just "the next block's first graph minus one".
+//
+// Memory layout is arena-shared across all labels, because the address-
+// style corpora carry thousands of 1-3 posting lists where per-label
+// vectors would cost more than the raw 8 bytes/posting they replace:
+//   * labels_   — one 24-byte directory entry per label id;
+//   * words_    — raw packed words of "small" lists (<= small_list_cutoff
+//                 postings), stored uncompressed: at those sizes codec
+//                 headers lose to the data;
+//   * blocks_   — per-block metadata: first posting raw, payload offset,
+//                 count, distinct-prefix (distinct graphs in the label's
+//                 earlier blocks, making suffix upper bounds O(1)), codec;
+//   * payload_  — the codec bytes of every block, concatenated.
+//
+// Partitioning is the fixed/greedy split the codecs want: fixed mode
+// closes a block at the first run boundary past target_block_size; greedy
+// mode additionally closes early when the frame-of-reference cost of
+// merging the next run exceeds the cost of starting a fresh block (wide
+// runs stop poisoning narrow neighbours). Both are pure functions of the
+// list, so the store is bit-identical for any thread/shard count.
+#ifndef USTL_INDEX_BLOCK_POSTINGS_H_
+#define USTL_INDEX_BLOCK_POSTINGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/posting_codec.h"
+
+namespace ustl {
+
+class BlockPostingStore {
+ public:
+  /// Directory entry of one label id. num_blocks == 0 means the list is
+  /// a small raw span in the words arena (count may still be 0: a label
+  /// that never occurs).
+  struct LabelRef {
+    uint32_t offset = 0;      // words_ index (small) / first block index
+    uint32_t count = 0;       // total postings of the label
+    uint32_t num_blocks = 0;  // 0 => small raw span
+    uint32_t distinct = 0;    // distinct graphs in the whole list
+    GraphId last_graph = 0;   // graph id of the last posting
+  };
+
+  /// Per-block metadata. `first` is stored raw — it is the decode seed
+  /// and the block's inclusive lower graph bound.
+  struct Block {
+    uint64_t first_bits = 0;
+    uint32_t payload_offset = 0;  // into payload_
+    uint32_t count = 0;           // postings in the block (incl. first)
+    uint32_t distinct_prefix = 0; // distinct graphs in earlier blocks
+    PostingCodecId codec = PostingCodecId::kVarint;
+  };
+
+  struct MemoryStats {
+    size_t postings = 0;
+    size_t payload_bytes = 0;    // codec payloads
+    size_t directory_bytes = 0;  // labels_ + blocks_
+    size_t words_bytes = 0;      // small-list raw spans
+    size_t blocks = 0;
+    size_t varint_blocks = 0;
+    size_t for_blocks = 0;
+    size_t small_lists = 0;
+    size_t total_bytes() const {
+      return payload_bytes + directory_bytes + words_bytes;
+    }
+  };
+
+  BlockPostingStore() = default;
+
+  /// Consumes `lists` (each raw list is released right after encoding, so
+  /// peak memory is one list above the compressed size) and builds the
+  /// arenas. Deterministic: a pure function of (lists, options).
+  static BlockPostingStore Encode(std::vector<PostingList>&& lists,
+                                  const BlockPostingsOptions& options);
+
+  size_t num_labels() const { return labels_.size(); }
+
+  /// Directory lookup; labels past the directory resolve to an empty ref.
+  const LabelRef& label(LabelId id) const {
+    return id < labels_.size() ? labels_[id] : kEmptyRef;
+  }
+
+  /// The raw span of a small list (valid when ref.num_blocks == 0).
+  const Posting* SmallSpan(const LabelRef& ref) const {
+    return words_.data() + ref.offset;
+  }
+
+  /// Block `b` (0-based within the label) of a blocked list.
+  const Block& block(const LabelRef& ref, size_t b) const {
+    return blocks_[ref.offset + b];
+  }
+
+  /// Inclusive upper bound on the graph ids inside block `b` — exact up
+  /// to gaps: blocks are graph-aligned, so the next block's first graph
+  /// strictly exceeds every graph in this one.
+  GraphId BlockMaxGraph(const LabelRef& ref, size_t b) const {
+    if (b + 1 < ref.num_blocks) {
+      return Posting::FromBits(blocks_[ref.offset + b + 1].first_bits)
+                 .graph() -
+             1;
+    }
+    return ref.last_graph;
+  }
+
+  /// Distinct graphs in blocks b, b+1, ... of the label — the skip
+  /// threshold's upper bound on what the rest of the list can add.
+  size_t SuffixDistinct(const LabelRef& ref, size_t b) const {
+    return ref.distinct - blocks_[ref.offset + b].distinct_prefix;
+  }
+
+  /// Decodes block `b` into out[0 .. block.count). `out` must have room.
+  void DecodeBlock(const LabelRef& ref, size_t b, Posting* out) const {
+    const Block& blk = blocks_[ref.offset + b];
+    PostingCodec::Get(blk.codec).Decode(payload_.data() + blk.payload_offset,
+                                        Posting::FromBits(blk.first_bits),
+                                        blk.count, out);
+  }
+
+  /// Whole-list decode for cold paths and tests (allocates).
+  void Materialize(LabelId id, PostingList* out) const;
+
+  MemoryStats memory() const;
+
+ private:
+  static const LabelRef kEmptyRef;
+
+  std::vector<LabelRef> labels_;
+  std::vector<Block> blocks_;
+  PostingList words_;
+  std::vector<uint8_t> payload_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_INDEX_BLOCK_POSTINGS_H_

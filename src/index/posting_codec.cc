@@ -1,0 +1,299 @@
+#include "index/posting_codec.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ustl {
+namespace {
+
+// --- LEB128 ---------------------------------------------------------------
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+size_t VarintBytes(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+const uint8_t* GetVarint(const uint8_t* p, uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (*p & 0x80) {
+    out |= static_cast<uint64_t>(*p & 0x7f) << shift;
+    shift += 7;
+    ++p;
+  }
+  out |= static_cast<uint64_t>(*p) << shift;
+  *v = out;
+  return p + 1;
+}
+
+// --- bit packing ----------------------------------------------------------
+
+// Bits needed to represent `v` (0 for v == 0).
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+// Appends values packed at `width` bits each, LSB-first within a little-
+// endian bit stream, byte-aligned at the end so streams concatenate.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Put(uint64_t v, int width) {
+    acc_ |= v << filled_;
+    filled_ += width;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void Align() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const uint8_t* data) : p_(data) {}
+
+  uint64_t Get(int width) {
+    while (filled_ < width) {
+      acc_ |= static_cast<uint64_t>(*p_++) << filled_;
+      filled_ += 8;
+    }
+    const uint64_t mask =
+        width == 64 ? ~0ull : (1ull << width) - 1;
+    const uint64_t v = acc_ & mask;
+    acc_ >>= width;
+    filled_ -= width;
+    return v;
+  }
+
+  void Align() {
+    acc_ = 0;
+    filled_ = 0;
+  }
+
+  const uint8_t* position() const { return p_; }
+
+ private:
+  const uint8_t* p_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+size_t PackedBytes(size_t values, int width) {
+  return (values * static_cast<size_t>(width) + 7) / 8;
+}
+
+// Component views of the successor stream: delta of the graph id against
+// the predecessor posting, plus the raw start/end node ids.
+struct Components {
+  uint32_t dg;
+  uint32_t start;
+  uint32_t end;
+};
+
+Components ComponentsAt(const Posting* postings, size_t i) {
+  return Components{postings[i].graph() - postings[i - 1].graph(),
+                    static_cast<uint32_t>(postings[i].start()),
+                    static_cast<uint32_t>(postings[i].end())};
+}
+
+// --- varint codec ---------------------------------------------------------
+
+class VarintCodec final : public PostingCodec {
+ public:
+  PostingCodecId id() const override { return PostingCodecId::kVarint; }
+
+  void Encode(const Posting* postings, size_t count,
+              std::vector<uint8_t>* out) const override {
+    for (size_t i = 1; i < count; ++i) {
+      const Components c = ComponentsAt(postings, i);
+      PutVarint(c.dg, out);
+      PutVarint(c.start, out);
+      PutVarint(c.end, out);
+    }
+  }
+
+  size_t EncodedBytes(const Posting* postings, size_t count) const override {
+    size_t bytes = 0;
+    for (size_t i = 1; i < count; ++i) {
+      const Components c = ComponentsAt(postings, i);
+      bytes += VarintBytes(c.dg) + VarintBytes(c.start) + VarintBytes(c.end);
+    }
+    return bytes;
+  }
+
+  size_t Decode(const uint8_t* data, Posting first, size_t count,
+                Posting* out) const override {
+    const uint8_t* p = data;
+    out[0] = first;
+    GraphId graph = first.graph();
+    for (size_t i = 1; i < count; ++i) {
+      uint64_t dg, start, end;
+      p = GetVarint(p, &dg);
+      p = GetVarint(p, &start);
+      p = GetVarint(p, &end);
+      graph += static_cast<GraphId>(dg);
+      out[i] = Posting(graph, static_cast<int>(start), static_cast<int>(end));
+    }
+    return static_cast<size_t>(p - data);
+  }
+
+  double DecodeCost() const override { return 1.5; }
+};
+
+// --- frame-of-reference bit packing ---------------------------------------
+
+// Layout: header {wg, ws, we} (one byte each), then the dg stream packed
+// at wg bits (byte-aligned), then starts at ws, then ends at we.
+class ForPackedCodec final : public PostingCodec {
+ public:
+  PostingCodecId id() const override { return PostingCodecId::kForPacked; }
+
+  void Encode(const Posting* postings, size_t count,
+              std::vector<uint8_t>* out) const override {
+    if (count <= 1) return;
+    int wg, ws, we;
+    Widths(postings, count, &wg, &ws, &we);
+    out->push_back(static_cast<uint8_t>(wg));
+    out->push_back(static_cast<uint8_t>(ws));
+    out->push_back(static_cast<uint8_t>(we));
+    BitWriter writer(out);
+    for (size_t i = 1; i < count; ++i) {
+      writer.Put(ComponentsAt(postings, i).dg, wg);
+    }
+    writer.Align();
+    for (size_t i = 1; i < count; ++i) {
+      writer.Put(ComponentsAt(postings, i).start, ws);
+    }
+    writer.Align();
+    for (size_t i = 1; i < count; ++i) {
+      writer.Put(ComponentsAt(postings, i).end, we);
+    }
+    writer.Align();
+  }
+
+  size_t EncodedBytes(const Posting* postings, size_t count) const override {
+    if (count <= 1) return 0;
+    int wg, ws, we;
+    Widths(postings, count, &wg, &ws, &we);
+    return 3 + PackedBytes(count - 1, wg) + PackedBytes(count - 1, ws) +
+           PackedBytes(count - 1, we);
+  }
+
+  size_t Decode(const uint8_t* data, Posting first, size_t count,
+                Posting* out) const override {
+    out[0] = first;
+    if (count <= 1) return 0;
+    const int wg = data[0], ws = data[1], we = data[2];
+    BitReader reader(data + 3);
+    GraphId graph = first.graph();
+    for (size_t i = 1; i < count; ++i) {
+      graph += static_cast<GraphId>(reader.Get(wg));
+      out[i] = Posting::FromBits(static_cast<uint64_t>(graph) << 32);
+    }
+    reader.Align();
+    for (size_t i = 1; i < count; ++i) {
+      out[i] = Posting::FromBits(out[i].bits() | reader.Get(ws) << 16);
+    }
+    reader.Align();
+    for (size_t i = 1; i < count; ++i) {
+      out[i] = Posting::FromBits(out[i].bits() | reader.Get(we));
+    }
+    reader.Align();
+    return 3 + PackedBytes(count - 1, wg) + PackedBytes(count - 1, ws) +
+           PackedBytes(count - 1, we);
+  }
+
+  double DecodeCost() const override { return 1.0; }
+
+ private:
+  static void Widths(const Posting* postings, size_t count, int* wg, int* ws,
+                     int* we) {
+    uint32_t max_dg = 0, max_s = 0, max_e = 0;
+    for (size_t i = 1; i < count; ++i) {
+      const Components c = ComponentsAt(postings, i);
+      max_dg = std::max(max_dg, c.dg);
+      max_s = std::max(max_s, c.start);
+      max_e = std::max(max_e, c.end);
+    }
+    *wg = BitWidth(max_dg);
+    *ws = BitWidth(max_s);
+    *we = BitWidth(max_e);
+  }
+};
+
+}  // namespace
+
+const PostingCodec& PostingCodec::Get(PostingCodecId id) {
+  static const VarintCodec varint;
+  static const ForPackedCodec for_packed;
+  switch (id) {
+    case PostingCodecId::kVarint:
+      return varint;
+    case PostingCodecId::kForPacked:
+      return for_packed;
+  }
+  USTL_CHECK(false);
+  return varint;
+}
+
+PostingCodecId ChoosePostingCodec(const Posting* postings, size_t count,
+                                  size_t* encoded_bytes) {
+  constexpr PostingCodecId kAll[] = {PostingCodecId::kVarint,
+                                     PostingCodecId::kForPacked};
+  PostingCodecId best = PostingCodecId::kVarint;
+  size_t best_bytes = 0;
+  double best_score = 0.0;
+  bool first = true;
+  for (PostingCodecId id : kAll) {
+    const PostingCodec& codec = PostingCodec::Get(id);
+    const size_t bytes = codec.EncodedBytes(postings, count);
+    const double score =
+        static_cast<double>(bytes) +
+        codec.DecodeCost() * static_cast<double>(count > 0 ? count - 1 : 0);
+    // Strict < keeps ties on the lower id: the model is a total order, so
+    // the per-block choice is deterministic everywhere.
+    if (first || score < best_score) {
+      first = false;
+      best = id;
+      best_bytes = bytes;
+      best_score = score;
+    }
+  }
+  if (encoded_bytes != nullptr) *encoded_bytes = best_bytes;
+  return best;
+}
+
+}  // namespace ustl

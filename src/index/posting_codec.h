@@ -1,0 +1,80 @@
+// Per-block posting codecs (PISA-style, cf. the maskedvbyte / simdbp
+// split there). A block stores its first posting raw in the block
+// metadata; the codec encodes the remaining postings as three component
+// streams — graph-id deltas against the predecessor (sorted lists make
+// them non-negative and usually tiny), plus the raw start and end node
+// ids (16-bit values that do not grow monotonically, so they are stored
+// as values, not deltas). Splitting the packed uint64 into components is
+// what makes compression work: a whole-word delta across a graph
+// boundary jumps by 2^32, while the component streams stay narrow.
+//
+// Two codecs ship behind the PostingCodec interface (SIMD decoders slot
+// in later by adding an id):
+//   * kVarint — LEB128 per component; byte-aligned, cheap to decode,
+//     best for skewed deltas.
+//   * kForPacked — frame-of-reference bit packing: a 3-byte header with
+//     the per-stream bit widths, then each stream packed at its width;
+//     best when components are uniformly narrow (the common case).
+// ChoosePostingCodec picks per block by encoded size plus a relative
+// decode-cost penalty, so a marginal size win never buys a slower
+// decode. The choice is a pure function of the block's postings —
+// deterministic across builds, threads and shard counts.
+#ifndef USTL_INDEX_POSTING_CODEC_H_
+#define USTL_INDEX_POSTING_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace ustl {
+
+enum class PostingCodecId : uint8_t {
+  kVarint = 0,
+  kForPacked = 1,
+};
+
+/// Stateless encoder/decoder for one block of postings. `postings[0]` is
+/// never encoded — block metadata keeps it raw — so all methods work on
+/// the count - 1 successors and their deltas.
+class PostingCodec {
+ public:
+  virtual ~PostingCodec() = default;
+
+  virtual PostingCodecId id() const = 0;
+
+  /// Appends the encoding of postings[1 .. count) to `*out`. `postings`
+  /// must be sorted and unique (posting order).
+  virtual void Encode(const Posting* postings, size_t count,
+                      std::vector<uint8_t>* out) const = 0;
+
+  /// Exact byte size Encode would append, without writing anything.
+  virtual size_t EncodedBytes(const Posting* postings,
+                              size_t count) const = 0;
+
+  /// Decodes a block: writes `count` postings into out[0 .. count),
+  /// out[0] == first. Returns the payload bytes consumed.
+  virtual size_t Decode(const uint8_t* data, Posting first, size_t count,
+                        Posting* out) const = 0;
+
+  /// Relative decode cost per posting, in "equivalent payload bytes" —
+  /// the currency of the selection model below. Varint pays branchy
+  /// per-byte work; FOR unpacking is branchless shifts.
+  virtual double DecodeCost() const = 0;
+
+  /// The singleton codec for `id` (codecs are stateless).
+  static const PostingCodec& Get(PostingCodecId id);
+};
+
+/// The size/decode-cost selection model: scores every codec as
+/// EncodedBytes + DecodeCost * (count - 1) and returns the minimum
+/// (ties to the lower codec id, so the choice is total). When
+/// `encoded_bytes` is non-null it receives the winner's exact size, so
+/// the caller never re-measures.
+PostingCodecId ChoosePostingCodec(const Posting* postings, size_t count,
+                                  size_t* encoded_bytes = nullptr);
+
+}  // namespace ustl
+
+#endif  // USTL_INDEX_POSTING_CODEC_H_

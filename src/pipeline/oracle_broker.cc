@@ -10,29 +10,18 @@ namespace ustl {
 namespace {
 
 // Content key for the verdict cache: pivot program and the full pair
-// list, each field length-prefixed. Values may contain arbitrary bytes
-// (quoted CSV fields), so a separator convention would be ambiguous; the
-// prefix makes every field boundary explicit and no two distinct
-// questions share a key.
-std::string CacheKey(std::string_view program,
-                     const std::vector<StringPair>& pairs) {
-  std::string key;
-  size_t size = program.size() + 8;
-  for (const StringPair& pair : pairs) {
-    size += pair.lhs.size() + pair.rhs.size() + 16;
-  }
-  key.reserve(size);
-  auto field = [&key](std::string_view s) {
-    key += std::to_string(s.size());
-    key.push_back(':');
-    key.append(s);
-  };
-  field(program);
-  for (const StringPair& pair : pairs) {
-    field(pair.lhs);
-    field(pair.rhs);
-  }
-  return key;
+// list, each field length-prefixed so values with arbitrary bytes (quoted
+// CSV fields) keep unambiguous boundaries, digested into the shared
+// 128-bit dual-FNV SearchCacheKey in one batched pass. Two independent
+// 64-bit streams make an accidental collision across distinct questions
+// astronomically unlikely, and the cache never copies question bytes —
+// a key is 16 bytes regardless of group size.
+SearchCacheKey CacheKey(std::string_view program,
+                        const std::vector<StringPair>& pairs) {
+  SearchKeyHasher hasher;
+  hasher.Str(program);
+  hasher.Pairs(pairs);
+  return hasher.Finish();
 }
 
 }  // namespace
@@ -154,7 +143,7 @@ Verdict OracleBroker::VerifyWithContext(
   return request.verdict;
 }
 
-const Verdict* OracleBroker::CacheFind(const std::string& key) {
+const Verdict* OracleBroker::CacheFind(const SearchCacheKey& key) {
   auto it = cache_.find(key);
   if (it == cache_.end()) return nullptr;
   // Refresh recency: splice moves the node without invalidating the
@@ -163,7 +152,8 @@ const Verdict* OracleBroker::CacheFind(const std::string& key) {
   return &it->second.verdict;
 }
 
-void OracleBroker::CacheInsert(const std::string& key, const Verdict& verdict) {
+void OracleBroker::CacheInsert(const SearchCacheKey& key,
+                               const Verdict& verdict) {
   recency_.push_front(key);
   CacheEntry entry;
   entry.verdict = verdict;

@@ -3,8 +3,11 @@
 // (pipeline.h) all funnel their questions through one broker, which
 //
 //   * deduplicates: verdicts are cached by question content — the pivot
-//     program plus the presented pair list — so a group that shows up in
-//     several columns (or again after a replay) costs one oracle call;
+//     program plus the presented pair list, digested into the same
+//     128-bit dual-FNV key the search cache uses (one batched pass over
+//     the pair list; no per-question key string is materialized) — so a
+//     group that shows up in several columns (or again after a replay)
+//     costs one oracle call;
 //   * batches: questions arriving while another thread is talking to the
 //     oracle queue up and are drained by that thread in one combining
 //     sweep (flat combining), so the backend sees bursts of cross-column
@@ -36,6 +39,7 @@
 
 #include "consolidate/oracle.h"
 #include "consolidate/replay.h"
+#include "grouping/search_cache.h"
 
 namespace ustl {
 
@@ -99,7 +103,7 @@ class OracleBroker : public VerificationOracle {
 
  private:
   struct Request {
-    std::string key;
+    SearchCacheKey key;
     const std::vector<StringPair>* pairs = nullptr;
     QuestionContext context;
     Verdict verdict;
@@ -118,24 +122,24 @@ class OracleBroker : public VerificationOracle {
 
   /// Requires mutex_. Cache lookup that refreshes the entry's LRU
   /// position; null on a miss.
-  const Verdict* CacheFind(const std::string& key);
+  const Verdict* CacheFind(const SearchCacheKey& key);
   /// Requires mutex_. Inserts a fresh verdict and evicts the
   /// least-recently-used entries past the configured bound.
-  void CacheInsert(const std::string& key, const Verdict& verdict);
+  void CacheInsert(const SearchCacheKey& key, const Verdict& verdict);
 
   /// One cached verdict plus its position in the recency list.
   struct CacheEntry {
     Verdict verdict;
-    std::list<std::string>::iterator recency;
+    std::list<SearchCacheKey>::iterator recency;
   };
 
   VerificationOracle* backend_;
   Options options_;
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
-  std::unordered_map<std::string, CacheEntry> cache_;
+  std::unordered_map<SearchCacheKey, CacheEntry, SearchCacheKeyHash> cache_;
   /// Cache keys, most recently used first; entries point into it.
-  std::list<std::string> recency_;
+  std::list<SearchCacheKey> recency_;
   std::vector<Request*> queue_;
   bool draining_ = false;
   OracleBrokerStats stats_;

@@ -212,10 +212,16 @@ TEST(ParallelDeterminismTest, ShardedIndexBuildMatchesSerialBitForBit) {
 // serialized form.
 std::vector<Group> DrainEngine(const std::vector<StringPair>& pairs,
                                int threads, bool search_cache = true,
-                               IncrementalStats* stats = nullptr) {
+                               IncrementalStats* stats = nullptr,
+                               IndexCodec codec = IndexCodec::kRaw) {
   GroupingOptions options;
   options.num_threads = threads;
   options.reuse_search_results = search_cache;
+  options.index_codec = codec;
+  // Small blocks so the address lists split into several blocks each —
+  // the skip/prune cursor gets real work instead of one-block lists.
+  options.block_postings.target_block_size = 16;
+  options.block_postings.small_list_cutoff = 2;
   GroupingEngine engine(pairs, options);
   std::vector<Group> groups;
   while (std::optional<Group> group = engine.Next()) {
@@ -266,6 +272,37 @@ TEST(ParallelDeterminismTest, GroupingEngineThreadAndSearchCacheMatrix) {
       ExpectSameGroups(baseline, DrainEngine(pairs, threads, cache));
     }
   }
+}
+
+// ISSUE 6 acceptance: grouped output must be byte-identical across index
+// codec x thread count x search-cache state, and the block-codec runs
+// must actually exercise the skip/prune cursor rather than degenerating
+// to small raw spans.
+TEST(ParallelDeterminismTest, GroupingEngineCodecThreadMatrix) {
+  GeneratedDataset data;
+  std::vector<StringPair> pairs = DatasetPairs(&data);
+  IncrementalStats raw_stats;
+  std::vector<Group> baseline =
+      DrainEngine(pairs, 1, /*search_cache=*/true, &raw_stats);
+  ASSERT_GT(baseline.size(), 5u);
+  // The raw codec has no blocks to count.
+  EXPECT_EQ(raw_stats.blocks_decoded, 0u);
+  EXPECT_EQ(raw_stats.blocks_skipped, 0u);
+  IncrementalStats block_stats;
+  for (int threads : {1, 4}) {
+    for (bool cache : {true, false}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " cache=" << cache);
+      ExpectSameGroups(
+          baseline,
+          DrainEngine(pairs, threads, cache,
+                      (threads == 1 && cache) ? &block_stats : nullptr,
+                      IndexCodec::kBlock));
+    }
+  }
+  // The serial cache-on block run decoded real blocks and skipped some.
+  EXPECT_GT(block_stats.blocks_decoded, 0u);
+  EXPECT_GT(block_stats.blocks_skipped, 0u);
 }
 
 TEST(ParallelDeterminismTest, GroupAllUpfrontIsIdenticalAcrossThreadCounts) {

@@ -37,18 +37,23 @@ cmp build/smoke_serial.csv build/smoke_parallel.csv
 cmp build/smoke_serial.csv build/smoke_nocache.csv
 echo "column-parallel smoke: byte-identical"
 
-# Wave-scan / search-cache byte-compare (ISSUE 4 acceptance): grouped
-# output — and therefore the standardized table — must be byte-identical
-# across --threads {1,4} x --search-cache {on,off}. The serial cache-on
-# run is the smoke_serial.csv baseline above.
+# Wave-scan / search-cache / index-codec byte-compare (ISSUE 4 + ISSUE 6
+# acceptance): grouped output — and therefore the standardized table —
+# must be byte-identical across --threads {1,4} x --search-cache {on,off}
+# x --index-codec {raw,block}. The serial cache-on raw run is the
+# smoke_serial.csv baseline above.
 for config in "--threads 4" "--search-cache off" \
-              "--threads 4 --search-cache off"; do
+              "--threads 4 --search-cache off" \
+              "--index-codec block" \
+              "--index-codec block --threads 4" \
+              "--index-codec block --search-cache off" \
+              "--index-codec block --threads 4 --search-cache off"; do
   # shellcheck disable=SC2086
   ./build/ustl-consolidate --input build/smoke_columns.csv \
     --output build/smoke_wave.csv --approve all --budget 40 $config
   cmp build/smoke_serial.csv build/smoke_wave.csv
 done
-echo "wave-scan/search-cache smoke: byte-identical"
+echo "wave-scan/search-cache/index-codec smoke: byte-identical"
 
 # Multi-table serving byte-compare (ISSUE 5 acceptance): three concurrent
 # tables through one long-lived ustl-serve service must match a serial
@@ -86,6 +91,26 @@ for threads in 1 4; do
   done
 done
 echo "multi-table serve smoke: byte-identical"
+
+# One block-codec serve pass: the compressed index must not perturb the
+# long-lived service either (same goldens, warm and cold rounds).
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 --repeat 2 \
+  --index-codec block
+for t in a b c; do
+  cmp build/serve_$t.base.csv build/serve_$t.out.csv
+  cmp build/serve_$t.base.csv build/serve_$t.out.csv.r2
+done
+echo "block-codec serve smoke: byte-identical"
+
+# Perf-regression gate (ISSUE 6 acceptance): rerun the self-checking
+# micro-kernel suite and gate its hardware-independent ratio metrics
+# (speedup_vs_seed, compression_ratio, zero allocs, nonzero skip/prune
+# counters) against the recorded BENCH_*_posting_codec.json trajectory.
+# Set USTL_CHECK_SKIP_BENCH=1 to skip (e.g. on heavily loaded boxes).
+if [ "${USTL_CHECK_SKIP_BENCH:-0}" != "1" ]; then
+  ./build/bench_micro_kernels > build/bench_fresh.json
+  python3 tools/check_bench.py --fresh build/bench_fresh.json
+fi
 
 if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DUSTL_TSAN=ON

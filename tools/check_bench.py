@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the recorded BENCH_* trajectory.
+
+Compares a fresh bench_micro_kernels run (JSON lines on a file or stdin)
+against the most recent recorded BENCH_*_posting_codec.json and fails on
+a >15% regression. Only hardware-independent *ratio* metrics are gated —
+speedups, compression ratios, allocation counts, skip/prune activity —
+never absolute nanoseconds: CI boxes and the box that recorded the
+trajectory do not share a clock, but they must agree that the fused
+kernel beats the seed kernel, that the block codec halves the index, and
+that the skip/prune/zero-alloc machinery actually engages.
+
+Usage:
+  check_bench.py --fresh fresh.json [--recorded BENCH_....json]
+                 [--tolerance 0.15]
+
+With no --recorded, the newest BENCH_*_posting_codec.json next to the
+repository root (this script's parent directory) is used.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# (bench, variant) -> list of (metric, kind) to gate.
+#   ratio_min: fresh >= recorded * (1 - tolerance)   (bigger is better)
+#   exact_max: fresh <= value                        (hard ceiling)
+#   nonzero:   fresh > 0                             (machinery engaged)
+GATES = {
+    ("posting_extend_kernel", "fused"): [
+        ("speedup_vs_seed", "ratio_min", None),
+        ("allocs_per_extend", "exact_max", 0.0),
+    ],
+    ("posting_codec_memory", "block"): [
+        ("compression_ratio", "ratio_min", None),
+        # The ISSUE 6 acceptance floor, independent of the recording.
+        ("compression_ratio", "floor", 2.0),
+    ],
+    ("skip_join_kernel", "block"): [
+        ("blocks_skipped", "nonzero", None),
+        ("blocks_decoded", "nonzero", None),
+        ("allocs_per_extend", "exact_max", 0.0),
+    ],
+    ("pivot_search_codec", "block"): [
+        ("blocks_skipped", "nonzero", None),
+        ("joins_pruned", "nonzero", None),
+    ],
+}
+
+
+def load_records(path):
+    """Parses JSON lines, skipping non-JSON noise, keyed by (bench, variant)."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            key = (record.get("bench"), record.get("variant"))
+            if key[0] is not None:
+                records[key] = record
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="fresh bench output (JSON lines; '-' = stdin)")
+    parser.add_argument("--recorded", default=None,
+                        help="recorded trajectory file (default: newest "
+                             "BENCH_*_posting_codec.json beside the repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative regression on ratio metrics")
+    args = parser.parse_args()
+
+    if args.recorded is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        candidates = sorted(glob.glob(
+            os.path.join(root, "BENCH_*_posting_codec.json")))
+        if not candidates:
+            print("check_bench: no recorded BENCH_*_posting_codec.json found",
+                  file=sys.stderr)
+            return 2
+        args.recorded = candidates[-1]
+
+    if args.fresh == "-":
+        fresh_path = "/dev/stdin"
+    else:
+        fresh_path = args.fresh
+    fresh = load_records(fresh_path)
+    recorded = load_records(args.recorded)
+
+    failures = []
+    checks = 0
+    for key, gates in GATES.items():
+        bench, variant = key
+        fresh_record = fresh.get(key)
+        if fresh_record is None:
+            failures.append(f"{bench}/{variant}: missing from fresh run")
+            continue
+        for metric, kind, bound in gates:
+            value = fresh_record.get(metric)
+            if value is None:
+                failures.append(f"{bench}/{variant}: fresh run lacks {metric}")
+                continue
+            checks += 1
+            if kind == "ratio_min":
+                baseline_record = recorded.get(key)
+                if baseline_record is None or metric not in baseline_record:
+                    failures.append(
+                        f"{bench}/{variant}: {metric} missing from recorded "
+                        f"trajectory {os.path.basename(args.recorded)}")
+                    continue
+                baseline = float(baseline_record[metric])
+                minimum = baseline * (1.0 - args.tolerance)
+                if float(value) < minimum:
+                    failures.append(
+                        f"{bench}/{variant}: {metric} regressed: "
+                        f"{value:.3f} < {minimum:.3f} "
+                        f"(recorded {baseline:.3f}, "
+                        f"tolerance {args.tolerance:.0%})")
+            elif kind == "floor":
+                if float(value) < bound:
+                    failures.append(
+                        f"{bench}/{variant}: {metric} {value:.3f} below the "
+                        f"acceptance floor {bound:.3f}")
+            elif kind == "exact_max":
+                if float(value) > bound:
+                    failures.append(
+                        f"{bench}/{variant}: {metric} {value:.3f} exceeds "
+                        f"{bound:.3f}")
+            elif kind == "nonzero":
+                if float(value) <= 0:
+                    failures.append(
+                        f"{bench}/{variant}: {metric} is zero — the "
+                        f"skip/prune machinery never engaged")
+
+    if failures:
+        print(f"check_bench: {len(failures)} failure(s) vs "
+              f"{os.path.basename(args.recorded)}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {checks} gated metric(s) OK vs "
+          f"{os.path.basename(args.recorded)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ struct Args {
   size_t max_cache_entries = 0;
   std::string oracle_cache = "on";
   std::string search_cache = "on";
+  std::string index_codec = "raw";
   bool events = false;
 };
 
@@ -73,6 +74,7 @@ void Usage() {
       "                  [--oracle-cache on|off (default: on)]\n"
       "                  [--search-cache on|off (default: on)]\n"
       "                  [--max-cache-entries N (default: 0 = unbounded)]\n"
+      "                  [--index-codec raw|block (default: raw)]\n"
       "                  [--events]\n"
       "\n"
       "Runs a manifest of tables concurrently through one long-lived\n"
@@ -250,6 +252,8 @@ int main(int argc, char** argv) {
       args.oracle_cache = next("--oracle-cache");
     } else if (std::strcmp(argv[i], "--search-cache") == 0) {
       args.search_cache = next("--search-cache");
+    } else if (std::strcmp(argv[i], "--index-codec") == 0) {
+      args.index_codec = next("--index-codec");
     } else if (std::strcmp(argv[i], "--events") == 0) {
       args.events = true;
     } else {
@@ -260,7 +264,8 @@ int main(int argc, char** argv) {
   }
   if (args.manifest.empty() || args.repeat == 0 ||
       (args.oracle_cache != "on" && args.oracle_cache != "off") ||
-      (args.search_cache != "on" && args.search_cache != "off")) {
+      (args.search_cache != "on" && args.search_cache != "off") ||
+      (args.index_codec != "raw" && args.index_codec != "block")) {
     Usage();
     return 2;
   }
@@ -296,6 +301,8 @@ int main(int argc, char** argv) {
   service_options.framework.budget_per_column = args.budget;
   service_options.framework.grouping.reuse_search_results =
       args.search_cache == "on";
+  service_options.framework.grouping.index_codec =
+      args.index_codec == "block" ? IndexCodec::kBlock : IndexCodec::kRaw;
   ApproveAllOracle approve_all;
   ConsolidationService service(&approve_all, service_options);
   std::printf("serving %zu table(s) x %zu round(s) on %d worker(s)\n",
