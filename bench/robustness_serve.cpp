@@ -1,0 +1,253 @@
+// Robustness bench for the fault-tolerance layer (serve + pipeline). Four
+// legs, one JSON line each, all gated on hardware-independent metrics by
+// tools/check_bench.py:
+//
+//   * fault_sweep — the workload under an eventually-successful fault
+//     plan (every faulty question recovers within the retry budget):
+//     output must stay byte-identical to the serial clean baseline,
+//     retries must actually fire, nothing may exhaust;
+//   * breaker — a persistently failing backend opens the circuit
+//     breaker; previously answered questions replay from the degradation
+//     cache and the service keeps serving clean requests afterwards;
+//   * cancel — a request cancelled mid-flight must return its typed
+//     status within a bounded wall-clock latency (the one absolute-time
+//     gate, with a deliberately generous ceiling: it detects hangs, not
+//     slowness);
+//   * zero_fault — the whole cancellation/retry plumbing armed but idle
+//     (zero-fault plan, far-future deadline) vs. the plain service:
+//     throughput overhead must stay within 2% (best-of-5 alternating
+//     timing — the minimum filters scheduler noise).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "pipeline/fault_oracle.h"
+#include "pipeline/pipeline.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace ustl;
+using namespace ustl::bench;
+
+constexpr size_t kBudget = 60;
+
+Table MakeTable(const GeneratedDataset& data, size_t columns) {
+  std::vector<std::string> names;
+  for (size_t i = 1; i <= columns; ++i) {
+    names.push_back("value" + std::to_string(i));
+  }
+  Table table(names);
+  for (size_t c = 0; c < data.column.size(); ++c) {
+    const size_t cluster = table.AddCluster();
+    for (const std::string& value : data.column[c]) {
+      table.AddRecord(cluster, std::vector<std::string>(columns, value));
+    }
+  }
+  return table;
+}
+
+FrameworkOptions BenchFramework() {
+  FrameworkOptions framework;
+  framework.budget_per_column = kBudget;
+  return framework;
+}
+
+std::string SerialFingerprint(Table table) {
+  ApproveAllOracle oracle;
+  PipelineOptions options;
+  options.framework = BenchFramework();
+  PipelineRun run = RunConsolidationPipeline(&table, &oracle, options);
+  return FingerprintConsolidation(table, run.golden_records);
+}
+
+struct Workload {
+  std::vector<Table> tables;
+  std::vector<std::string> baselines;
+};
+
+Workload MakeWorkload(double scale) {
+  AddressGenOptions address_gen;
+  address_gen.scale = scale;
+  address_gen.seed = BenchSeed() + 3;
+  JournalTitleGenOptions journal_gen;
+  journal_gen.scale = scale;
+  journal_gen.seed = BenchSeed() + 4;
+  Workload workload;
+  workload.tables.push_back(
+      MakeTable(GenerateAddressDataset(address_gen), 1));
+  workload.tables.push_back(
+      MakeTable(GenerateJournalTitleDataset(journal_gen), 1));
+  workload.tables.push_back(
+      MakeTable(GenerateAddressDataset(address_gen), 2));
+  for (const Table& table : workload.tables) {
+    workload.baselines.push_back(SerialFingerprint(table));
+  }
+  return workload;
+}
+
+// Runs the workload once through a fresh service; returns seconds, and
+// whether every table matched its serial baseline.
+double RunWorkload(const Workload& workload, VerificationOracle* oracle,
+                   ServiceOptions options, int64_t deadline_ms,
+                   bool* byte_identical, ServiceStats* stats) {
+  options.framework = BenchFramework();
+  options.num_threads = 4;
+  ConsolidationService service(oracle, options);
+  std::vector<Table> tables = workload.tables;
+  std::vector<uint64_t> handles;
+  Timer timer;
+  for (Table& table : tables) {
+    RequestOptions request;
+    request.deadline_ms = deadline_ms;
+    handles.push_back(service.Submit(&table, std::move(request)));
+  }
+  bool identical = true;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    RequestResult result = service.Wait(handles[t]);
+    identical = identical && result.status == RequestStatus::kOk &&
+                FingerprintConsolidation(tables[t], result.golden_records) ==
+                    workload.baselines[t];
+  }
+  const double seconds = timer.ElapsedSeconds();
+  if (byte_identical != nullptr) *byte_identical = identical;
+  if (stats != nullptr) *stats = service.stats();
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale(0.06);
+  printf("=== Robustness: retries, breaker, cancellation, zero-fault "
+         "overhead (scale=%.2f) ===\n\n",
+         scale);
+  const Workload workload = MakeWorkload(scale);
+
+  // --- fault_sweep: eventually-successful plan, byte-identical output.
+  {
+    FaultPlan plan;
+    plan.fault_rate = 0.6;
+    plan.failures_per_question = 2;
+    plan.seed = BenchSeed();
+    ApproveAllOracle backend;
+    FaultInjectingOracle faulty(&backend, plan);
+    ServiceOptions options;
+    options.enable_retry = true;
+    options.retry.max_attempts = 4;
+    bool byte_identical = false;
+    ServiceStats stats;
+    const double seconds =
+        RunWorkload(workload, &faulty, options, 0, &byte_identical, &stats);
+    printf("{\"bench\": \"robustness_serve\", \"variant\": \"fault_sweep\", "
+           "\"seconds\": %.4f, \"faults_injected\": %zu, \"retries\": %zu, "
+           "\"recovered\": %zu, \"exhausted\": %zu, "
+           "\"byte_identical\": %s}\n",
+           seconds, faulty.faults_injected(), stats.retry.retries,
+           stats.retry.recovered, stats.retry.exhausted,
+           byte_identical ? "true" : "false");
+  }
+
+  // --- breaker: persistent faults trip it; degraded service replays.
+  {
+    FaultPlan plan;
+    plan.fault_rate = 1.0;
+    plan.persistent = true;
+    plan.seed = BenchSeed();
+    ApproveAllOracle backend;
+    FaultInjectingOracle faulty(&backend, plan);
+    RetryingOracle::Options retry_options;
+    retry_options.max_attempts = 2;
+    retry_options.breaker_failure_threshold = 3;
+    retry_options.breaker_cooldown_calls = 1000;
+    RetryingOracle retrying(&faulty, retry_options);
+    size_t failed = 0;
+    for (int i = 0; i < 8; ++i) {
+      try {
+        retrying.Verify({{"q" + std::to_string(i) + " Street",
+                          "q" + std::to_string(i) + " St"}});
+      } catch (...) {
+        ++failed;
+      }
+    }
+    const RetryingOracleStats stats = retrying.stats();
+    // The service itself (plain oracle) still serves after the storm —
+    // byte-identity on a clean run is the "never the service" check.
+    ApproveAllOracle clean;
+    ServiceOptions options;
+    bool alive = false;
+    RunWorkload(workload, &clean, options, 0, &alive, nullptr);
+    printf("{\"bench\": \"robustness_serve\", \"variant\": \"breaker\", "
+           "\"failed_questions\": %zu, \"breaker_opens\": %zu, "
+           "\"short_circuits\": %zu, \"service_alive\": %s}\n",
+           failed, stats.breaker_opens, stats.short_circuits,
+           alive ? "true" : "false");
+  }
+
+  // --- cancel: mid-flight cancellation latency (hang detector).
+  {
+    FaultPlan plan;  // a slow oracle keeps the request mid-flight
+    plan.slow_rate = 1.0;
+    plan.slow_ms = 10;
+    plan.seed = BenchSeed();
+    ApproveAllOracle backend;
+    FaultInjectingOracle slow(&backend, plan);
+    ServiceOptions options;
+    options.framework = BenchFramework();
+    options.num_threads = 4;
+    ConsolidationService service(&slow, options);
+    std::vector<Table> tables = workload.tables;
+    std::vector<uint64_t> handles;
+    for (Table& table : tables) handles.push_back(service.Submit(&table));
+    const uint64_t victim = handles[0];
+    const auto cancel_started = std::chrono::steady_clock::now();
+    service.Cancel(victim);
+    RequestResult result = service.Wait(victim);
+    const double cancel_latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - cancel_started)
+            .count();
+    for (size_t t = 1; t < handles.size(); ++t) service.Wait(handles[t]);
+    printf("{\"bench\": \"robustness_serve\", \"variant\": \"cancel\", "
+           "\"cancelled\": %d, \"cancel_latency_ms\": %.2f}\n",
+           result.status == RequestStatus::kCancelled ? 1 : 0,
+           cancel_latency_ms);
+  }
+
+  // --- zero_fault: armed-but-idle plumbing vs. the plain service.
+  {
+    double plain_best = 0.0;
+    double armed_best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      ApproveAllOracle plain_backend;
+      ServiceOptions plain_options;
+      const double plain = RunWorkload(workload, &plain_backend,
+                                       plain_options, 0, nullptr, nullptr);
+      if (plain_best == 0.0 || plain < plain_best) plain_best = plain;
+
+      ApproveAllOracle armed_backend;
+      FaultPlan zero;  // inactive plan: injector forwards every call
+      FaultInjectingOracle injector(&armed_backend, zero);
+      ServiceOptions armed_options;
+      armed_options.enable_retry = true;
+      bool byte_identical = false;
+      const double armed =
+          RunWorkload(workload, &injector, armed_options,
+                      /*deadline_ms=*/3600 * 1000, &byte_identical, nullptr);
+      if (armed_best == 0.0 || armed < armed_best) armed_best = armed;
+      if (!byte_identical) {
+        printf("{\"bench\": \"robustness_serve\", \"variant\": "
+               "\"zero_fault\", \"error\": \"not byte-identical\"}\n");
+        return 1;
+      }
+    }
+    printf("{\"bench\": \"robustness_serve\", \"variant\": \"zero_fault\", "
+           "\"plain_seconds\": %.4f, \"armed_seconds\": %.4f, "
+           "\"overhead_ratio\": %.4f}\n",
+           plain_best, armed_best, armed_best / plain_best);
+  }
+  return 0;
+}

@@ -12,9 +12,14 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
   // The engine groups a snapshot of Phi; store indices are stable, so the
   // group members map back even after edits (stale occurrences are checked
   // at apply time, Section 7.1).
-  GroupingEngine engine(store.pairs(), options.grouping);
+  GroupingOptions grouping_options = options.grouping;
+  if (!grouping_options.cancel.cancellable()) {
+    grouping_options.cancel = options.cancel;
+  }
+  GroupingEngine engine(store.pairs(), grouping_options);
 
   while (result.groups_presented < options.budget_per_column) {
+    options.cancel.Check();
     std::optional<Group> group = engine.Next();
     if (!group.has_value()) break;
     if (options.skip_singletons && group->size() <= 1) continue;
@@ -42,6 +47,8 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
     context.column = options.column_name;
     context.program = group->program;
     context.presented = result.groups_presented;
+    context.cancel = options.cancel;
+    context.request_id = options.request_id;
     Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
 
     GroupTrace trace;
@@ -94,6 +101,7 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
   }
 
   for (size_t index : order) {
+    options.cancel.Check();
     if (result.groups_presented >= options.budget_per_column) break;
     if (options.skip_dead_groups && store.occurrences(index).empty()) {
       continue;
@@ -104,6 +112,8 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
     QuestionContext context;
     context.column = options.column_name;
     context.presented = result.groups_presented;
+    context.cancel = options.cancel;
+    context.request_id = options.request_id;
     Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
     GroupTrace trace;
     trace.size = 1;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "consolidate/cluster.h"
 #include "consolidate/oracle.h"
 #include "consolidate/truth_discovery.h"
@@ -69,6 +70,17 @@ struct FrameworkOptions {
   /// the oracle QuestionContext so brokers can build per-column replay
   /// logs. The pipeline fills it per job; empty is fine elsewhere.
   std::string column_name;
+  /// Cooperative cancellation (common/cancel.h). Checked before every
+  /// presented group, forwarded into the grouping engine's scan loops and
+  /// into the oracle QuestionContext (so a broker can unwind a waiter).
+  /// A tripped token aborts the run via CancelledError before the next
+  /// side effect; the partially edited column is abandoned by the caller.
+  /// Inert by default.
+  CancelToken cancel;
+  /// Serving-layer attribution: id of the request this column belongs to
+  /// (0 = none). Travels in the QuestionContext so per-request retry and
+  /// breaker events can name their request.
+  uint64_t request_id = 0;
 };
 
 /// One presented group, for reports and the examples.

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "grouping/group.h"
 
@@ -45,6 +46,14 @@ struct QuestionContext {
   /// broker order its replay log by presentation rank even when columns
   /// share a name, independent of scheduling.
   size_t presented = 0;
+  /// Cancellation token of the asking request (common/cancel.h; inert by
+  /// default). Brokers use it to unwind a cancelled waiter from their
+  /// queue in bounded time; it never influences a verdict — verdicts stay
+  /// pure functions of the pair list.
+  CancelToken cancel;
+  /// Serving-layer request id (0 = none): lets decorators attribute
+  /// retry/breaker observability events to the asking request.
+  uint64_t request_id = 0;
 };
 
 /// Interface the framework consults once per presented group. Callers

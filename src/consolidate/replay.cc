@@ -7,6 +7,73 @@
 
 namespace ustl {
 
+namespace {
+
+// Quoted form for pair values in the text log: arbitrary bytes survive
+// the line-oriented "key: value" format.
+std::string QuoteValue(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Parses one quoted value starting at `pos` (which must point at the
+// opening quote). Advances `pos` past the closing quote. False on
+// malformed input.
+bool ParseQuotedValue(std::string_view text, size_t* pos, std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '"') return false;
+  out->clear();
+  for (size_t i = *pos + 1; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return true;
+    }
+    if (c == '\\') {
+      if (++i >= text.size()) return false;
+      switch (text[i]) {
+        case '\\':
+          *out += '\\';
+          break;
+        case '"':
+          *out += '"';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        default:
+          return false;
+      }
+      continue;
+    }
+    *out += c;
+  }
+  return false;  // unterminated
+}
+
+}  // namespace
+
 size_t ApplyTransformation(Column* column,
                            const ApprovedTransformation& transformation) {
   // Route through the replacement store: candidate pairs (whole-value AND
@@ -16,6 +83,28 @@ size_t ApplyTransformation(Column* column,
   // after earlier edits.
   ReplacementStore store(*column, CandidateGenOptions{});
   size_t edits = 0;
+  if (!transformation.pairs.empty()) {
+    // Faithful mode: rewrite exactly the recorded member pairs, in the
+    // recorded order. A pair's transformation graph is a pure function of
+    // its two values, so every candidate with the same (lhs, rhs) was a
+    // member of the approved group; candidates appended by this
+    // transformation's own edits are excluded, just as the live session's
+    // grouping snapshot excluded them.
+    const size_t snapshot = store.num_pairs();
+    for (const StringPair& target : transformation.pairs) {
+      for (size_t i = 0; i < snapshot; ++i) {
+        if (store.occurrences(i).empty()) continue;
+        if (!(store.pair(i) == target)) continue;
+        edits += transformation.direction == ReplaceDirection::kLhsToRhs
+                     ? store.Apply(i)
+                     : store.ApplyReverse(i);
+      }
+    }
+    *column = store.column();
+    return edits;
+  }
+  // Generalization mode (no recorded members — legacy log, or a log
+  // deliberately stripped to programs for fresh batches of the feed).
   // pairs() may grow while applying (edited clusters are re-derived);
   // newly appended pairs get their consistency check too, so one replay
   // step can complete a chain the original session approved in one group.
@@ -63,7 +152,12 @@ std::string SerializeTransformationLog(
                ? "lhs->rhs"
                : "rhs->lhs";
     out += "\n";
-    out += "program: " + SerializeProgram(transformation.program) + "\n\n";
+    out += "program: " + SerializeProgram(transformation.program) + "\n";
+    for (const StringPair& pair : transformation.pairs) {
+      out += "pair: " + QuoteValue(pair.lhs) + " -> " + QuoteValue(pair.rhs) +
+             "\n";
+    }
+    out += "\n";
   }
   return out;
 }
@@ -128,6 +222,21 @@ Result<std::vector<ApprovedTransformation>> ParseTransformationLog(
       }
       current.program = std::move(program).value();
       has_program = true;
+    } else if (key == "pair") {
+      StringPair pair;
+      size_t pos = 0;
+      bool ok = ParseQuotedValue(value, &pos, &pair.lhs) &&
+                value.substr(pos, 4) == " -> ";
+      if (ok) {
+        pos += 4;
+        ok = ParseQuotedValue(value, &pos, &pair.rhs) && pos == value.size();
+      }
+      if (!ok) {
+        return Status::InvalidArgument(
+            "transformation log line " + std::to_string(line_number) +
+            ": expected pair: \"lhs\" -> \"rhs\"");
+      }
+      current.pairs.push_back(std::move(pair));
     }
     // Unknown keys (e.g. "size") are informational; skip.
     if (line_end == text.size()) {

@@ -28,13 +28,22 @@ struct ApprovedTransformation {
   /// kLhsToRhs replaces a by b whenever program(a) can produce b;
   /// kRhsToLhs replaces b by a.
   ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
+  /// The approved group's member pairs in the order the live session
+  /// applied them. When non-empty, replay applies exactly these
+  /// value-level replacements — byte-faithful to the session, because
+  /// group membership (pivot path contained in the pair's graph) is
+  /// strictly narrower than program consistency. Empty = legacy log or
+  /// deliberate generalization: every consistent pair is rewritten.
+  std::vector<StringPair> pairs;
 };
 
-/// Applies one transformation to a column in place. For each cluster,
-/// every ordered pair of distinct values (a, b) with b an output of
-/// program(a) triggers a rewrite of the direction's source value to its
-/// target in all cells of that cluster holding it. Pairs are visited in
-/// sorted order, so replay is deterministic. Returns cells edited.
+/// Applies one transformation to a column in place. With recorded member
+/// pairs, only candidate pairs matching those exact (lhs, rhs) values are
+/// rewritten, in the recorded order — reproducing the live session's
+/// edits byte for byte. Without them, every ordered pair of distinct
+/// values (a, b) with b an output of program(a) triggers a rewrite of the
+/// direction's source value to its target in all cells of that cluster
+/// holding it, visited in candidate order. Returns cells edited.
 size_t ApplyTransformation(Column* column,
                            const ApprovedTransformation& transformation);
 
@@ -49,9 +58,12 @@ size_t ReplayTransformations(
 ///   column: Address
 ///   direction: lhs->rhs
 ///   program: SubStr(...) (+) ConstantStr("...")
+///   pair: "9 Street" -> "9 St"
 ///
-/// Blocks are blank-line separated; unknown "key: value" lines are
-/// ignored on parse (the CLI adds informational ones).
+/// `pair:` lines (zero or more, quoted with C-style escapes for
+/// backslash, quote, newline, CR) record the group's members. Blocks are
+/// blank-line separated; unknown "key: value" lines are ignored on parse
+/// (the CLI adds informational ones).
 std::string SerializeTransformationLog(
     const std::vector<ApprovedTransformation>& transformations);
 

@@ -267,6 +267,7 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
   inc_options.sample_seed = options_.pivot_sample_seed;
   inc_options.reuse_search_results = options_.reuse_search_results;
   inc_options.adaptive_wave_sizing = options_.adaptive_wave_sizing;
+  inc_options.cancel = options_.cancel;
   if (search_context_.valid()) {
     // Scope the shared context hash to this structure group; the engine
     // double-checks exact-mode eligibility itself.
@@ -336,6 +337,7 @@ std::optional<Group> GroupingEngine::Next() {
   // refine. That is what makes the group sequence bit-identical for any
   // thread count and wave size.
   while (true) {
+    options_.cancel.Check();
     // Best cached candidate across sub-groups. Ties prefer the larger
     // structure group (the sub the lazy hint order would have refined and
     // returned first), then the lower sub index; both keys are static, so

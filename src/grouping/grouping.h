@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "graph/graph_builder.h"
 #include "graph/term_scorer.h"
@@ -95,6 +96,10 @@ struct GroupingOptions {
   /// engine stays lazy and serial regardless of this knob — a shared
   /// budget makes preprocessing order-dependent.
   int num_threads = 1;
+  /// Cooperative cancellation (common/cancel.h), forwarded into every
+  /// structure-group engine's scan loops and checked between refinement
+  /// rounds; inert by default. See IncrementalOptions::cancel.
+  CancelToken cancel;
 };
 
 /// Statistics of an upfront grouping run, for Figure 9.

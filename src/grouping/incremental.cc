@@ -190,6 +190,7 @@ void IncrementalEngine::SerialScan(const std::vector<GraphId>& order,
                                    bool sampling, int best_count,
                                    PivotSearcher::SearchResult* best) {
   for (GraphId g : order) {
+    options_.cancel.Check();
     // Sampled counts never exceed full counts, so the full-unit upper
     // bounds remain sound against a sample-unit best_count.
     if (upper_bounds_[g] <= best_count) break;  // Algorithm 7 line 5
@@ -332,6 +333,9 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
 
   size_t pos = 0;
   while (pos < order.size() && upper_bounds_[order[pos]] > best_count) {
+    // Cancellation checkpoint between waves: a tripped request unwinds
+    // after at most one wave of searches (bounded by the pool width).
+    options_.cancel.Check();
     // A cached result at the head of the remaining order applies
     // immediately: it costs no DFS, keeps the scan exactly as lazy as a
     // serial scan with the same cache (no search is dispatched that the

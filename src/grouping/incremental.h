@@ -53,6 +53,7 @@
 #include <limits>
 #include <optional>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "grouping/graph_set.h"
 #include "grouping/pivot_search.h"
@@ -107,6 +108,12 @@ struct IncrementalOptions {
   /// cold; the cache must outlive the engine.
   SearchResultCache* shared_cache = nullptr;
   SearchCacheKey shared_cache_key;
+  /// Cooperative cancellation (common/cancel.h): the scan loops call
+  /// Check() at their heads — on the driver thread and between waves, so
+  /// a tripped token unwinds within one wave of searches. An unwound
+  /// engine is abandoned by its request; nothing partial is published to
+  /// the shared cache (only complete per-graph results ever are).
+  CancelToken cancel;
 };
 
 struct IncrementalStats {

@@ -1,0 +1,117 @@
+#include "pipeline/fault_oracle.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/random.h"
+
+namespace ustl {
+
+std::string FaultPlan::ToSpec() const {
+  std::string out = "rate=" + std::to_string(fault_rate);
+  out += ",fails=" + std::to_string(failures_per_question);
+  if (persistent) out += ",persistent=1";
+  if (slow_rate > 0.0) {
+    out += ",slow=" + std::to_string(slow_rate);
+    out += ",slow_ms=" + std::to_string(slow_ms);
+  }
+  out += ",seed=" + std::to_string(seed);
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::FromSpec(std::string_view spec) {
+  FaultPlan plan;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view field = spec.substr(start, end - start);
+    start = end + 1;
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault plan field '" +
+                                     std::string(field) +
+                                     "': expected key=value");
+    }
+    std::string key(field.substr(0, eq));
+    std::string value(field.substr(eq + 1));
+    char* parse_end = nullptr;
+    if (key == "rate") {
+      plan.fault_rate = std::strtod(value.c_str(), &parse_end);
+    } else if (key == "fails") {
+      plan.failures_per_question =
+          static_cast<int>(std::strtol(value.c_str(), &parse_end, 10));
+    } else if (key == "persistent") {
+      plan.persistent = std::strtol(value.c_str(), &parse_end, 10) != 0;
+    } else if (key == "slow") {
+      plan.slow_rate = std::strtod(value.c_str(), &parse_end);
+    } else if (key == "slow_ms") {
+      plan.slow_ms =
+          static_cast<int>(std::strtol(value.c_str(), &parse_end, 10));
+    } else if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), &parse_end, 10);
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key '" + key +
+                                     "'");
+    }
+    if (parse_end == nullptr || *parse_end != '\0' || value.empty()) {
+      return Status::InvalidArgument("fault plan: bad value for '" + key +
+                                     "': '" + value + "'");
+    }
+  }
+  if (plan.fault_rate < 0.0 || plan.fault_rate > 1.0 ||
+      plan.slow_rate < 0.0 || plan.slow_rate > 1.0) {
+    return Status::InvalidArgument("fault plan: rates must be in [0, 1]");
+  }
+  return plan;
+}
+
+Verdict FaultInjectingOracle::VerifyWithContext(
+    const std::vector<StringPair>& group_pairs,
+    const QuestionContext& context) {
+  const uint64_t hash = HashQuestion(group_pairs);
+  // Pure fault decision, SimulatedOracle-style: one RNG seeded from the
+  // question and the plan, independent draws per failure mode.
+  Rng rng(hash ^ (plan_.seed * 0x9e3779b97f4a7c15ULL));
+  const bool faulty =
+      plan_.fault_rate > 0.0 && rng.UniformReal() < plan_.fault_rate;
+  const bool slow =
+      plan_.slow_rate > 0.0 && rng.UniformReal() < plan_.slow_rate;
+
+  if (faulty) {
+    bool inject = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      int& attempt = attempts_[hash];
+      ++attempt;
+      inject = plan_.persistent || attempt <= plan_.failures_per_question;
+      if (inject) ++faults_injected_;
+    }
+    if (inject) {
+      throw InjectedOracleError("injected oracle fault (question " +
+                                std::to_string(hash) + ")");
+    }
+  }
+  if (slow && plan_.slow_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++slow_calls_;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.slow_ms));
+  }
+  return backend_->VerifyWithContext(group_pairs, context);
+}
+
+size_t FaultInjectingOracle::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_injected_;
+}
+
+size_t FaultInjectingOracle::slow_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_calls_;
+}
+
+}  // namespace ustl

@@ -1,0 +1,93 @@
+// Deterministic fault injection for oracle backends. A FaultPlan is a
+// seeded schedule of failures; FaultInjectingOracle wraps any backend and
+// throws / stalls according to the plan. Like SimulatedOracle's error
+// model, every fault decision is a pure function of (plan seed, question
+// hash, attempt number) — never of wall-clock time or call order — so a
+// failure observed once reproduces under any thread count, admission
+// order or cache state, and a retry layer above sees exactly the same
+// fault sequence run after run. That purity is what lets the fault-sweep
+// CI legs byte-compare faulted-with-retries runs against clean ones.
+#ifndef USTL_PIPELINE_FAULT_ORACLE_H_
+#define USTL_PIPELINE_FAULT_ORACLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "consolidate/oracle.h"
+
+namespace ustl {
+
+/// Thrown by FaultInjectingOracle for an injected failure.
+class InjectedOracleError : public std::runtime_error {
+ public:
+  explicit InjectedOracleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A seeded schedule of oracle failures.
+struct FaultPlan {
+  /// Fraction of distinct questions that fail (selected by question
+  /// hash). 0 = no faults.
+  double fault_rate = 0.0;
+  /// How many consecutive attempts of a faulty question throw before it
+  /// succeeds. A retry layer with max_attempts > failures_per_question
+  /// recovers every verdict — the "eventually successful" plans the
+  /// determinism contract covers.
+  int failures_per_question = 1;
+  /// When true, faulty questions fail on every attempt (failures_per_
+  /// question is ignored) — the plan a circuit breaker is tested against.
+  bool persistent = false;
+  /// Fraction of distinct questions answered slowly (sleep of slow_ms
+  /// before the backend call). Models a degraded-but-working oracle;
+  /// exercises deadline trips without any throw.
+  double slow_rate = 0.0;
+  int slow_ms = 0;
+  uint64_t seed = 0x0fau;
+
+  bool active() const { return fault_rate > 0.0 || slow_rate > 0.0; }
+
+  /// Compact "key=value,..." spec for CLI flags, e.g.
+  /// "rate=0.3,fails=2,seed=7" or "rate=0.1,persistent=1,slow=0.2,
+  /// slow_ms=5". Keys: rate, fails, persistent, slow, slow_ms, seed.
+  std::string ToSpec() const;
+  static Result<FaultPlan> FromSpec(std::string_view spec);
+};
+
+/// Wraps a backend with FaultPlan-scheduled failures. Thread-compatible
+/// like every oracle (brokers serialize calls); the per-question attempt
+/// counters are mutex-guarded anyway so tests may hit it directly from
+/// several threads.
+class FaultInjectingOracle : public VerificationOracle {
+ public:
+  FaultInjectingOracle(VerificationOracle* backend, FaultPlan plan)
+      : backend_(backend), plan_(plan) {
+    USTL_CHECK(backend_ != nullptr);
+  }
+
+  Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+    return VerifyWithContext(group_pairs, QuestionContext{});
+  }
+  Verdict VerifyWithContext(const std::vector<StringPair>& group_pairs,
+                            const QuestionContext& context) override;
+
+  /// Total injected throws so far.
+  size_t faults_injected() const;
+  /// Total injected slow calls so far.
+  size_t slow_calls() const;
+
+ private:
+  VerificationOracle* backend_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  /// Attempts seen per faulty question hash (for failures_per_question).
+  std::unordered_map<uint64_t, int> attempts_;
+  size_t faults_injected_ = 0;
+  size_t slow_calls_ = 0;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_PIPELINE_FAULT_ORACLE_H_

@@ -1,6 +1,7 @@
 #include "pipeline/oracle_broker.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 
 #include "dsl/parser.h"
@@ -51,19 +52,40 @@ Verdict OracleBroker::VerifyWithContext(
   request.context = context;
 
   std::unique_lock<std::mutex> lock(mutex_);
+  // Pre-enqueue checkpoint: a cancelled request never joins the queue, so
+  // it cannot occupy a combiner slot or stall behind a batch.
+  context.cancel.Check();
   ++stats_.questions;
   if (options_.cache_verdicts) {
     if (const Verdict* verdict = CacheFind(request.key)) {
       ++stats_.cache_hits;
-      RecordVerdict(context, *verdict);
+      RecordVerdict(context, group_pairs, *verdict);
       return *verdict;
     }
   }
   queue_.push_back(&request);
   if (draining_) {
     // Another thread is combining; it will answer us (possibly from a
-    // same-key twin it serves first).
-    done_cv_.wait(lock, [&] { return request.done; });
+    // same-key twin it serves first). A cancelled waiter unwinds in
+    // bounded time: while still queued it removes itself and throws; once
+    // the combiner owns it (moved into a batch) it must wait out the
+    // batch — the combiner skips the backend call for it.
+    while (!request.done) {
+      if (!context.cancel.cancellable()) {
+        done_cv_.wait(lock, [&] { return request.done; });
+        break;
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                        [&] { return request.done; });
+      if (request.done) break;
+      if (context.cancel.Poll() != RequestStatus::kOk) {
+        auto it = std::find(queue_.begin(), queue_.end(), &request);
+        if (it != queue_.end()) {
+          queue_.erase(it);
+          context.cancel.Check();  // throws; request is no longer reachable
+        }
+      }
+    }
     if (request.error) std::rethrow_exception(request.error);
     return request.verdict;
   }
@@ -90,29 +112,48 @@ Verdict OracleBroker::VerifyWithContext(
             served = true;
           }
         }
+        if (!served &&
+            pending->context.cancel.Poll() != RequestStatus::kOk) {
+          // The asking request was cancelled while queued: fail only it,
+          // skip the backend call. No cache or log entry is written, so
+          // nothing partial outlives the request.
+          pending->error = std::make_exception_ptr(
+              CancelledError(pending->context.cancel.Poll()));
+          pending->done = true;
+          done_cv_.notify_all();
+          continue;
+        }
         if (!served) {
           // Drop the lock while the backend thinks so that other columns
           // can keep enqueueing (that is what forms the next batch). The
           // backend itself is still only ever called from the combiner.
           lock.unlock();
           Verdict verdict;
+          std::exception_ptr backend_error;
           try {
             verdict =
                 backend_->VerifyWithContext(*pending->pairs, pending->context);
           } catch (...) {
-            lock.lock();
-            // Keep `pending` in the unserved set: erase the served prefix
-            // so the catch below fails it along with the rest.
-            batch.erase(batch.begin(),
-                        batch.begin() + static_cast<ptrdiff_t>(next));
-            throw;
+            backend_error = std::current_exception();
           }
           lock.lock();
+          if (backend_error != nullptr) {
+            // A backend failure (retries exhausted, breaker open,
+            // cancellation thrown mid-call) fails only the asking
+            // request: no cache or log entry is written for it — the
+            // verdict cache and approved log never hold partial state
+            // from a failed question — and the combiner keeps draining,
+            // so the other waiters and the service itself live on.
+            pending->error = backend_error;
+            pending->done = true;
+            done_cv_.notify_all();
+            continue;
+          }
           ++stats_.backend_calls;
           if (options_.cache_verdicts) CacheInsert(pending->key, verdict);
           pending->verdict = verdict;
         }
-        RecordVerdict(pending->context, pending->verdict);
+        RecordVerdict(pending->context, *pending->pairs, pending->verdict);
         pending->done = true;
         // Wake waiters per answer, not per batch: a column whose question
         // was served first should not stall behind the batch tail.
@@ -120,10 +161,11 @@ Verdict OracleBroker::VerifyWithContext(
       }
     }
   } catch (...) {
-    // Backend failure while holding the drain role (lock reacquired
-    // above): hand the exception to every unserved request — currently
-    // waiting threads rethrow it, so the failure surfaces in all blocked
-    // column jobs instead of hanging them — and give the role back.
+    // Safety net for a non-backend failure while holding the drain role
+    // (e.g. an allocation failure in CacheInsert): hand the exception to
+    // every unserved request — currently waiting threads rethrow it, so
+    // the failure surfaces instead of hanging them — and give the role
+    // back.
     std::exception_ptr error = std::current_exception();
     for (Request* pending : batch) {
       if (pending->done) continue;
@@ -140,6 +182,9 @@ Verdict OracleBroker::VerifyWithContext(
     throw;
   }
   draining_ = false;
+  // The combiner's own request can be failed by its drain loop (a
+  // deadline tripping between the entry checkpoint and the first batch).
+  if (request.error) std::rethrow_exception(request.error);
   return request.verdict;
 }
 
@@ -168,13 +213,18 @@ void OracleBroker::CacheInsert(const SearchCacheKey& key,
 }
 
 void OracleBroker::RecordVerdict(const QuestionContext& context,
+                                 const std::vector<StringPair>& pairs,
                                  const Verdict& verdict) {
   if (!verdict.approved || context.program.empty()) return;
   LogKey key(std::string(context.column), std::string(context.program),
              verdict.direction);
-  auto [it, inserted] = log_.emplace(std::move(key), context.presented);
-  if (!inserted && context.presented < it->second) {
-    it->second = context.presented;
+  auto& ranks = log_[std::move(key)];
+  auto [it, inserted] = ranks.emplace(context.presented, pairs);
+  if (!inserted && pairs < it->second) {
+    // Same-named columns can approve the same key at the same rank with
+    // different member lists; a deterministic tie-break keeps the log
+    // schedule-independent.
+    it->second = pairs;
   }
 }
 
@@ -184,10 +234,19 @@ OracleBrokerStats OracleBroker::stats() const {
 }
 
 std::vector<ApprovedTransformation> OracleBroker::ApprovedLog() const {
-  std::vector<std::pair<LogKey, size_t>> records;
+  struct Record {
+    LogKey key;
+    size_t rank;
+    std::vector<StringPair> pairs;
+  };
+  std::vector<Record> records;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    records.assign(log_.begin(), log_.end());
+    for (const auto& [key, ranks] : log_) {
+      for (const auto& [rank, pairs] : ranks) {
+        records.push_back(Record{key, rank, pairs});
+      }
+    }
   }
   // Per column, order entries by presentation rank: the session approved
   // big groups first, and a replay must re-apply them first to reproduce
@@ -195,24 +254,23 @@ std::vector<ApprovedTransformation> OracleBroker::ApprovedLog() const {
   // columns) fall back to the key, so the log is deterministic either
   // way.
   std::sort(records.begin(), records.end(),
-            [](const std::pair<LogKey, size_t>& a,
-               const std::pair<LogKey, size_t>& b) {
-              const std::string& a_column = std::get<0>(a.first);
-              const std::string& b_column = std::get<0>(b.first);
+            [](const Record& a, const Record& b) {
+              const std::string& a_column = std::get<0>(a.key);
+              const std::string& b_column = std::get<0>(b.key);
               if (a_column != b_column) return a_column < b_column;
-              if (a.second != b.second) return a.second < b.second;
-              return a.first < b.first;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.key < b.key;
             });
   std::vector<ApprovedTransformation> out;
   out.reserve(records.size());
-  for (const auto& [key, rank] : records) {
-    (void)rank;
-    Result<Program> program = ParseProgram(std::get<1>(key));
+  for (Record& record : records) {
+    Result<Program> program = ParseProgram(std::get<1>(record.key));
     if (!program.ok()) continue;  // display-only program; skip
     ApprovedTransformation transformation;
-    transformation.column = std::get<0>(key);
+    transformation.column = std::get<0>(record.key);
     transformation.program = std::move(program).value();
-    transformation.direction = std::get<2>(key);
+    transformation.direction = std::get<2>(record.key);
+    transformation.pairs = std::move(record.pairs);
     out.push_back(std::move(transformation));
   }
   return out;

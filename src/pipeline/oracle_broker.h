@@ -90,10 +90,11 @@ class OracleBroker : public VerificationOracle {
 
   OracleBrokerStats stats() const;
 
-  /// The approved transformations seen so far, deduplicated and grouped
-  /// by column with each column's entries in its presentation order
-  /// (largest group first — replaying in that order reproduces the live
-  /// session's tie-breaks); entries whose program does not parse
+  /// The approved transformations seen so far, grouped by column with
+  /// each column's entries in its presentation order (largest group first
+  /// — replaying in that order reproduces the live session's tie-breaks)
+  /// and carrying the member pairs the session applied, so a same-data
+  /// replay is byte-faithful; entries whose program does not parse
   /// (display-only programs, context-free questions) are dropped. Feed to
   /// SerializeTransformationLog / ReplayTransformations (replay.h).
   std::vector<ApprovedTransformation> ApprovedLog() const;
@@ -108,8 +109,11 @@ class OracleBroker : public VerificationOracle {
     QuestionContext context;
     Verdict verdict;
     bool done = false;
-    /// Set when the combiner failed before answering this request (the
-    /// backend threw); the waiting thread rethrows it.
+    /// Set when this request failed instead of being answered: its own
+    /// backend call threw (only the asking request fails — the combiner
+    /// keeps draining the rest), it was cancelled while batched, or a
+    /// non-backend combiner failure poisoned the whole batch. The
+    /// waiting thread rethrows it; no cache or log entry exists for it.
     std::exception_ptr error;
   };
   /// Log key: one entry per distinct approved (column, program,
@@ -117,8 +121,11 @@ class OracleBroker : public VerificationOracle {
   /// transformation.
   using LogKey = std::tuple<std::string, std::string, ReplaceDirection>;
 
-  /// Requires mutex_. Records an approved verdict for the log.
-  void RecordVerdict(const QuestionContext& context, const Verdict& verdict);
+  /// Requires mutex_. Records an approved verdict for the log, with the
+  /// presented member pairs (the replay payload).
+  void RecordVerdict(const QuestionContext& context,
+                     const std::vector<StringPair>& pairs,
+                     const Verdict& verdict);
 
   /// Requires mutex_. Cache lookup that refreshes the entry's LRU
   /// position; null on a miss.
@@ -143,12 +150,15 @@ class OracleBroker : public VerificationOracle {
   std::vector<Request*> queue_;
   bool draining_ = false;
   OracleBrokerStats stats_;
-  /// Approved records, deduplicated at insert; the mapped value is the
-  /// best (lowest) presentation rank the entry was ever approved at.
-  /// Scheduling decides only *when* a record is inserted — the key set
-  /// and the min rank are schedule-independent, which is what makes
-  /// ApprovedLog deterministic (even when columns share a name).
-  std::map<LogKey, size_t> log_;
+  /// Approved records: per (column, program, direction), one entry per
+  /// presentation rank it was approved at, carrying the member pairs the
+  /// session applied. Keeping every rank (not just the best) is what lets
+  /// replay re-apply a twice-approved group at both points, interleaved
+  /// edits and all. Scheduling decides only *when* a record is inserted —
+  /// the (key, rank) set is schedule-independent, and a same-rank
+  /// collision across same-named columns keeps the lexicographically
+  /// smaller pair list, which is what makes ApprovedLog deterministic.
+  std::map<LogKey, std::map<size_t, std::vector<StringPair>>> log_;
 };
 
 }  // namespace ustl

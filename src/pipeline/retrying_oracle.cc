@@ -1,0 +1,143 @@
+#include "pipeline/retrying_oracle.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+
+namespace ustl {
+
+Verdict RetryingOracle::VerifyWithContext(
+    const std::vector<StringPair>& group_pairs,
+    const QuestionContext& context) {
+  const uint64_t hash = HashQuestion(group_pairs);
+
+  bool probe = false;  // this call is the half-open probe
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (breaker_ == Breaker::kOpen) {
+      ++open_calls_;
+      if (open_calls_ >= options_.breaker_cooldown_calls) {
+        breaker_ = Breaker::kHalfOpen;
+        probe = true;
+      } else {
+        ++stats_.short_circuits;
+        if (options_.serve_cached_while_open) {
+          auto it = replay_.find(hash);
+          if (it != replay_.end()) {
+            ++stats_.replayed_verdicts;
+            return it->second;
+          }
+        }
+        throw BreakerOpenError();
+      }
+    } else if (breaker_ == Breaker::kHalfOpen) {
+      // Another call already probes; fail fast like open (no replay
+      // lookup is skipped — degraded service still replays).
+      ++stats_.short_circuits;
+      if (options_.serve_cached_while_open) {
+        auto it = replay_.find(hash);
+        if (it != replay_.end()) {
+          ++stats_.replayed_verdicts;
+          return it->second;
+        }
+      }
+      throw BreakerOpenError();
+    }
+  }
+
+  const int max_attempts = probe ? 1 : options_.max_attempts;
+  std::exception_ptr last_error;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    context.cancel.Check();
+    if (attempt > 1) {
+      // Deterministic exponential backoff: exponent from the attempt,
+      // jitter a pure function of (seed, question, attempt).
+      int64_t delay = options_.backoff_base_ms;
+      for (int k = 2; k < attempt && delay < options_.backoff_cap_ms; ++k) {
+        delay *= 2;
+      }
+      if (delay > options_.backoff_cap_ms) delay = options_.backoff_cap_ms;
+      if (options_.backoff_base_ms > 0) {
+        Rng jitter(options_.seed ^ hash ^
+                   (static_cast<uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL));
+        delay += jitter.Uniform(0, options_.backoff_base_ms);
+        if (delay > options_.backoff_cap_ms) delay = options_.backoff_cap_ms;
+      }
+      if (delay > 0) {
+        if (options_.sleep_ms) {
+          options_.sleep_ms(static_cast<int>(delay));
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+      }
+      context.cancel.Check();
+    }
+    try {
+      Verdict verdict = backend_->VerifyWithContext(group_pairs, context);
+      bool closed_now = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (attempt > 1) ++stats_.recovered;
+        consecutive_exhausted_ = 0;
+        if (breaker_ != Breaker::kClosed) {
+          breaker_ = Breaker::kClosed;
+          open_calls_ = 0;
+          closed_now = true;
+        }
+        replay_[hash] = verdict;
+      }
+      if (closed_now && options_.on_breaker) {
+        options_.on_breaker(context.request_id, /*open=*/false);
+      }
+      return verdict;
+    } catch (const CancelledError&) {
+      throw;  // cancellation is not a backend failure; never retry it
+    } catch (...) {
+      last_error = std::current_exception();
+      if (attempt < max_attempts) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.retries;
+        }
+        if (options_.on_retry) options_.on_retry(context.request_id, attempt);
+      }
+    }
+  }
+
+  // Every attempt failed: count it against the breaker, fail the asker.
+  bool opened_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.exhausted;
+    ++consecutive_exhausted_;
+    if (probe) {
+      // Failed probe: straight back to open for another cooldown.
+      breaker_ = Breaker::kOpen;
+      open_calls_ = 0;
+    } else if (options_.breaker_failure_threshold > 0 &&
+               breaker_ == Breaker::kClosed &&
+               consecutive_exhausted_ >= options_.breaker_failure_threshold) {
+      breaker_ = Breaker::kOpen;
+      open_calls_ = 0;
+      ++stats_.breaker_opens;
+      opened_now = true;
+    }
+  }
+  if (opened_now && options_.on_breaker) {
+    options_.on_breaker(context.request_id, /*open=*/true);
+  }
+  std::rethrow_exception(last_error);
+}
+
+RetryingOracleStats RetryingOracle::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool RetryingOracle::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_ != Breaker::kClosed;
+}
+
+}  // namespace ustl

@@ -55,7 +55,14 @@ ConsolidationService::ConsolidationService(VerificationOracle* backend,
                    ? std::min(budget_, options_.max_concurrent_jobs)
                    : budget_),
       per_job_threads_(std::max(1, budget_ / workers_)),
-      broker_(backend_, options_.broker),
+      retrying_(options_.enable_retry
+                    ? std::make_unique<RetryingOracle>(backend_,
+                                                       WireRetryOptions())
+                    : nullptr),
+      broker_(retrying_ != nullptr
+                  ? static_cast<VerificationOracle*>(retrying_.get())
+                  : backend_,
+              options_.broker),
       search_cache_(options_.search_cache),
       pool_(std::make_unique<ThreadPool>(workers_ + 1)) {
   USTL_CHECK(backend_ != nullptr);
@@ -81,6 +88,9 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
   request->framework =
       options.framework.has_value() ? *options.framework : options_.framework;
   request->on_event = std::move(options.on_event);
+  // Armed before admission, so the deadline covers backlog queueing time
+  // — the client-facing latency bound, not a processing-time bound.
+  request->cancel.SetDeadlineMs(options.deadline_ms);
   const size_t num_columns = table->num_columns();
   request->columns.resize(num_columns);
   request->results.resize(num_columns);
@@ -104,6 +114,7 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
     request->label = options.label.empty()
                          ? "request-" + std::to_string(request->id)
                          : std::move(options.label);
+    request->last_grant_seq = grant_seq_;  // aging clock starts at admission
     requests_.emplace(request->id, std::move(owned));
     ++requests_admitted_;
   }
@@ -137,13 +148,28 @@ RequestResult ConsolidationService::Wait(uint64_t handle) {
   auto it = requests_.find(handle);
   USTL_CHECK(it != requests_.end());
   Request* request = it->second.get();
+  request->waiting = true;  // pins the handle against the GC
   done_cv_.wait(lock, [&] { return request->done; });
   std::exception_ptr error = request->error;
   RequestResult result = std::move(request->result);
+  result.status = request->status;
+  auto retained = std::find(retained_.begin(), retained_.end(), handle);
+  if (retained != retained_.end()) retained_.erase(retained);
   requests_.erase(it);
   lock.unlock();
   if (error != nullptr) std::rethrow_exception(error);
   return result;
+}
+
+void ConsolidationService::Cancel(uint64_t handle) {
+  // Trips the shared state only; workers observe it at their next
+  // checkpoint and the finalize path turns it into a typed status. Takes
+  // mutex_ but never event_mutex_, so calling from an on_event callback
+  // cannot self-deadlock.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = requests_.find(handle);
+  if (it == requests_.end() || it->second->done) return;
+  it->second->cancel.Cancel(RequestStatus::kCancelled);
 }
 
 void ConsolidationService::Resume() {
@@ -161,11 +187,16 @@ ServiceStats ConsolidationService::stats() const {
   ServiceStats out;
   out.oracle = broker_.stats();
   out.search_cache = search_cache_.stats();
+  if (retrying_ != nullptr) out.retry = retrying_->stats();
   std::lock_guard<std::mutex> lock(mutex_);
   out.requests_admitted = requests_admitted_;
   out.requests_completed = requests_completed_;
   out.columns_dispatched = columns_dispatched_;
   out.max_concurrent_requests = max_concurrent_requests_;
+  out.requests_cancelled = requests_cancelled_;
+  out.requests_deadline_exceeded = requests_deadline_exceeded_;
+  out.aged_grants = aged_grants_;
+  out.handles_reaped = handles_reaped_;
   return out;
 }
 
@@ -187,6 +218,36 @@ void ConsolidationService::Pump() {
 }
 
 bool ConsolidationService::PickJob(Request** request, size_t* column) {
+  // Fairness aging: one grant per cycle is no guarantee when continuous
+  // fresh arrivals keep the cycle from ever closing — each newcomer is
+  // hungry in the *current* cycle, so a huge table that already took its
+  // grant can wait unboundedly for cycle_ to advance. A request passed
+  // over for aging_grant_threshold consecutive grants takes the next slot
+  // out of turn (oldest grant first, arrival breaking ties).
+  if (options_.aging_grant_threshold > 0) {
+    Request* starved = nullptr;
+    for (Request* candidate : active_) {
+      if (candidate->dispatched == candidate->columns.size()) continue;
+      if (grant_seq_ - candidate->last_grant_seq <
+          options_.aging_grant_threshold) {
+        continue;
+      }
+      if (starved == nullptr ||
+          candidate->last_grant_seq < starved->last_grant_seq ||
+          (candidate->last_grant_seq == starved->last_grant_seq &&
+           candidate->arrival < starved->arrival)) {
+        starved = candidate;
+      }
+    }
+    if (starved != nullptr) {
+      ++aged_grants_;
+      starved->granted_cycle = cycle_;
+      starved->last_grant_seq = ++grant_seq_;
+      *request = starved;
+      *column = starved->dispatched++;
+      return true;
+    }
+  }
   // Weighted round-robin (see the file comment): one column per request
   // per cycle, requests within a cycle ordered fewest-remaining-first
   // with arrival breaking ties.
@@ -216,6 +277,7 @@ bool ConsolidationService::PickJob(Request** request, size_t* column) {
       continue;
     }
     pick->granted_cycle = cycle_;
+    pick->last_grant_seq = ++grant_seq_;
     *request = pick;
     *column = pick->dispatched++;
     return true;
@@ -272,7 +334,15 @@ void ConsolidationService::RunJobs() {
 void ConsolidationService::ExecuteColumn(Request* request, size_t column,
                                          int grouping_threads) {
   try {
+    CancelToken token(&request->cancel);
+    // A cancelled / expired request's remaining columns are no-ops: the
+    // job still runs (completion accounting needs it) but does no work,
+    // which is what bounds cancel latency to the in-flight columns'
+    // checkpoint distance.
+    token.Check();
     FrameworkOptions framework = request->framework;
+    framework.cancel = token;
+    framework.request_id = request->id;
     framework.column_name = request->table->column_names()[column];
     framework.grouping.num_threads = grouping_threads;
     framework.grouping.shared_search_cache =
@@ -288,6 +358,10 @@ void ConsolidationService::ExecuteColumn(Request* request, size_t column,
     ServeEventOracle oracle(this, request, column);
     request->results[column] =
         StandardizeColumn(&request->columns[column], &oracle, framework);
+  } catch (const CancelledError&) {
+    // The expected unwind of a cancelled / past-deadline request: not an
+    // error. The terminal status lives in request->cancel; the finalize
+    // path turns it into the typed result and commits nothing.
   } catch (...) {
     // First failure wins; the request still drains (remaining columns run
     // and the broker stays usable) and Wait rethrows.
@@ -297,9 +371,16 @@ void ConsolidationService::ExecuteColumn(Request* request, size_t column,
 }
 
 void ConsolidationService::FinalizeRequest(Request* request) {
-  if (request->error == nullptr) {
+  // Poll (not a raw read) so a deadline that expired without any
+  // checkpoint observing it still latches here — the status a client
+  // sees is decided once, at finalize.
+  const RequestStatus status = request->cancel.Poll();
+  request->status =
+      request->error != nullptr ? RequestStatus::kError : status;
+  if (request->error == nullptr && status == RequestStatus::kOk) {
     // The only mutation of the caller's table, in column index order —
-    // same commit discipline as the pipeline.
+    // same commit discipline as the pipeline. A cancelled / expired
+    // request skips this: its table stays exactly as submitted.
     for (size_t col = 0; col < request->columns.size(); ++col) {
       request->table->StoreColumn(col, request->columns[col]);
     }
@@ -313,8 +394,17 @@ void ConsolidationService::FinalizeRequest(Request* request) {
   request->results.clear();
   request->results.shrink_to_fit();
 
+  if (request->status == RequestStatus::kCancelled ||
+      request->status == RequestStatus::kDeadlineExceeded) {
+    ServeEvent cancelled;
+    cancelled.kind = ServeEvent::Kind::kCancelled;
+    cancelled.status = request->status;
+    Emit(*request, std::move(cancelled));
+  }
+
   ServeEvent event;
   event.kind = ServeEvent::Kind::kRequestDone;
+  event.status = request->status;
   for (const ColumnRunResult& result : request->result.per_column) {
     event.groups_presented += result.groups_presented;
     event.groups_approved += result.groups_approved;
@@ -328,9 +418,34 @@ void ConsolidationService::FinalizeRequest(Request* request) {
   request->done = true;
   completion_order_.push_back(request->id);
   ++requests_completed_;
+  if (request->status == RequestStatus::kCancelled) ++requests_cancelled_;
+  if (request->status == RequestStatus::kDeadlineExceeded) {
+    ++requests_deadline_exceeded_;
+  }
   active_.erase(std::find(active_.begin(), active_.end(), request));
+  if (!request->waiting) {
+    retained_.push_back(request->id);
+    ReapRetained();
+  }
   done_cv_.notify_all();
   admission_cv_.notify_all();
+}
+
+void ConsolidationService::ReapRetained() {
+  if (options_.max_retained_results == 0) return;
+  while (retained_.size() > options_.max_retained_results) {
+    const uint64_t victim = retained_.front();
+    retained_.pop_front();
+    auto it = requests_.find(victim);
+    if (it == requests_.end()) continue;  // collected by Wait meanwhile
+    Request* request = it->second.get();
+    if (request->waiting) continue;  // a Wait arrived; let it collect
+    request->result = RequestResult{};
+    request->error = nullptr;
+    request->status = RequestStatus::kReaped;
+    request->reaped = true;
+    ++handles_reaped_;
+  }
 }
 
 void ConsolidationService::Emit(const Request& request, ServeEvent event) {
@@ -339,6 +454,42 @@ void ConsolidationService::Emit(const Request& request, ServeEvent event) {
   event.label = request.label;
   std::lock_guard<std::mutex> lock(event_mutex_);
   request.on_event(event);
+}
+
+void ConsolidationService::EmitForRequestId(uint64_t id, ServeEvent event) {
+  if (id == 0) return;
+  Request* request = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = requests_.find(id);
+    if (it == requests_.end()) return;
+    request = it->second.get();
+  }
+  // Safe outside the lock: the attributed request is blocked inside the
+  // broker on the very question being retried, so it cannot finalize (and
+  // be erased by Wait) while we emit.
+  Emit(*request, std::move(event));
+}
+
+RetryingOracle::Options ConsolidationService::WireRetryOptions() {
+  RetryingOracle::Options retry = options_.retry;
+  auto user_retry = retry.on_retry;
+  retry.on_retry = [this, user_retry](uint64_t id, int attempt) {
+    ServeEvent event;
+    event.kind = ServeEvent::Kind::kRetried;
+    event.attempt = attempt;
+    EmitForRequestId(id, std::move(event));
+    if (user_retry) user_retry(id, attempt);
+  };
+  auto user_breaker = retry.on_breaker;
+  retry.on_breaker = [this, user_breaker](uint64_t id, bool open) {
+    ServeEvent event;
+    event.kind = ServeEvent::Kind::kBreakerOpen;
+    event.status = open ? RequestStatus::kError : RequestStatus::kOk;
+    EmitForRequestId(id, std::move(event));
+    if (user_breaker) user_breaker(id, open);
+  };
+  return retry;
 }
 
 }  // namespace ustl

@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -43,10 +44,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "consolidate/framework.h"
 #include "grouping/search_cache.h"
 #include "pipeline/oracle_broker.h"
+#include "pipeline/retrying_oracle.h"
 
 namespace ustl {
 
@@ -87,13 +90,46 @@ struct ServiceOptions {
   /// whole workload atomically so the fairness order is reproducible.
   /// Waiting on a paused service without calling Resume() deadlocks.
   bool start_paused = false;
+  /// Front the backend with a RetryingOracle (retry/backoff/circuit
+  /// breaker, pipeline/retrying_oracle.h). The service wires the
+  /// decorator's observability hooks to kRetried / kBreakerOpen events
+  /// and folds its counters into ServiceStats. Off = the backend is
+  /// called directly, exactly the pre-retry behavior.
+  bool enable_retry = false;
+  RetryingOracle::Options retry;
+  /// Fairness aging: a request with undispatched columns that has been
+  /// passed over for this many consecutive grants receives the next slot
+  /// regardless of the round-robin cycle (stats().aged_grants counts
+  /// them). Guards against continuous small-table arrivals pinning the
+  /// cycle open so a huge table's one-grant-per-cycle never comes around
+  /// again. 0 disables aging. Dispatch order only — output bytes are
+  /// admission-order-independent either way.
+  size_t aging_grant_threshold = 64;
+  /// GC of never-waited handles: at most this many completed-but-unwaited
+  /// results are retained; past the bound the oldest completed handle is
+  /// reaped — its result freed, its Wait() returning a typed kReaped
+  /// status. 0 = retain everything (the pre-GC behavior; fine for
+  /// short-lived runs, unbounded for a service fronting careless
+  /// clients).
+  size_t max_retained_results = 0;
 };
 
 /// One streamed service event. kVerdict events carry the broker's answer
 /// for one presented group; kColumnDone / kRequestDone carry the
-/// accumulated counters.
+/// accumulated counters. kRetried / kBreakerOpen surface the retry
+/// decorator's activity (enable_retry); kCancelled is emitted once when a
+/// cancelled or deadline-exceeded request finalizes, before its
+/// kRequestDone.
 struct ServeEvent {
-  enum class Kind { kAdmitted, kVerdict, kColumnDone, kRequestDone };
+  enum class Kind {
+    kAdmitted,
+    kVerdict,
+    kColumnDone,
+    kRequestDone,
+    kRetried,
+    kCancelled,
+    kBreakerOpen
+  };
   Kind kind = Kind::kAdmitted;
   uint64_t request = 0;
   std::string label;
@@ -111,6 +147,12 @@ struct ServeEvent {
   size_t groups_presented = 0;
   size_t groups_approved = 0;
   size_t edits = 0;
+  /// kRetried: the attempt number that just failed. kBreakerOpen: unused.
+  int attempt = 0;
+  /// kCancelled / kRequestDone: the request's terminal status.
+  /// kBreakerOpen: kOk when the breaker closed again (a successful
+  /// half-open probe), kError when it opened.
+  RequestStatus status = RequestStatus::kOk;
 };
 
 struct RequestOptions {
@@ -124,14 +166,26 @@ struct RequestOptions {
   /// callback may touch unsynchronized state; events of concurrent
   /// requests interleave in scheduling order. The callback runs under
   /// the service's event lock: it must NOT call back into the service
-  /// (Submit/Wait/Resume would self-deadlock) — hand follow-up work to
-  /// another thread instead.
+  /// (Submit/Wait/Resume would self-deadlock, except Cancel, which is
+  /// explicitly event-callback-safe) — hand follow-up work to another
+  /// thread instead.
   std::function<void(const ServeEvent&)> on_event;
+  /// Wall-clock deadline for this request, armed at admission; 0 = none.
+  /// A request past its deadline unwinds at the next cooperative
+  /// checkpoint (column loop heads, pivot-search wave boundaries, broker
+  /// waits) and finalizes with status kDeadlineExceeded: no column is
+  /// committed to the table, shared caches keep only complete entries
+  /// published before the trip, and other in-flight requests are
+  /// untouched.
+  int64_t deadline_ms = 0;
 };
 
 /// What one request produced; the table passed to Submit has been
-/// standardized in place by the time Wait returns.
+/// standardized in place by the time Wait returns — unless `status` is
+/// not kOk, in which case the table is exactly as submitted (cancelled
+/// or expired requests commit nothing) and the vectors are empty.
 struct RequestResult {
+  RequestStatus status = RequestStatus::kOk;
   std::vector<ColumnRunResult> per_column;
   std::vector<GoldenRecord> golden_records;
 };
@@ -139,11 +193,20 @@ struct RequestResult {
 struct ServiceStats {
   OracleBrokerStats oracle;
   SearchCacheStats search_cache;
+  /// Retry decorator counters; all zero unless enable_retry.
+  RetryingOracleStats retry;
   size_t requests_admitted = 0;
   size_t requests_completed = 0;
   size_t columns_dispatched = 0;
   /// High-water mark of concurrently admitted (incomplete) requests.
   size_t max_concurrent_requests = 0;
+  /// Requests finalized with status kCancelled / kDeadlineExceeded.
+  size_t requests_cancelled = 0;
+  size_t requests_deadline_exceeded = 0;
+  /// Fairness-aging preemptions (grants awarded out of cycle order).
+  size_t aged_grants = 0;
+  /// Completed-but-unwaited results reclaimed by the handle GC.
+  size_t handles_reaped = 0;
 };
 
 class ConsolidationService {
@@ -169,11 +232,22 @@ class ConsolidationService {
 
   /// Blocks until the request completed and returns its result (each
   /// handle can be waited once). Rethrows the first exception the
-  /// request's column jobs surfaced (e.g. a backend failure). A handle
-  /// that is never waited keeps its (post-finalize, working-copies-freed)
-  /// result alive for the service lifetime; garbage-collecting abandoned
-  /// handles is a recorded follow-on.
+  /// request's column jobs surfaced (e.g. a backend failure) — except
+  /// cancellation and deadline trips, which return normally with the
+  /// typed RequestResult::status instead of throwing. A handle that is
+  /// never waited keeps its (post-finalize, working-copies-freed) result
+  /// alive until the handle GC reaps it (max_retained_results); waiting
+  /// a reaped handle returns immediately with status kReaped.
   RequestResult Wait(uint64_t handle);
+
+  /// Cancels an admitted request: trips its cancel state so in-flight
+  /// column jobs unwind at the next cooperative checkpoint and
+  /// undispatched columns are skipped, then the request finalizes with
+  /// status kCancelled in bounded time. Nothing is committed to its
+  /// table; other requests and the shared caches are unaffected. Safe
+  /// from any thread, including on_event callbacks; cancelling an
+  /// already-completed or unknown handle is a no-op.
+  void Cancel(uint64_t handle);
 
   /// Starts dispatch on a service constructed with start_paused.
   void Resume();
@@ -204,8 +278,16 @@ class ConsolidationService {
     size_t completed = 0;   // columns finished
     uint64_t arrival = 0;
     uint64_t granted_cycle = 0;  // fairness: last round-robin cycle served
+    uint64_t last_grant_seq = 0;  // fairness aging: global grant counter
+                                  // value when this request last got a slot
     bool done = false;
+    bool waiting = false;  // a Wait() is blocked on it; GC must not reap
+    bool reaped = false;   // result GC'd; Wait returns kReaped immediately
     std::exception_ptr error;  // first failing column's exception
+    /// Cooperative cancellation state shared with every layer below
+    /// (framework -> grouping -> broker) via CancelToken views.
+    CancelState cancel;
+    RequestStatus status = RequestStatus::kOk;  // set at finalize
     RequestResult result;
   };
 
@@ -224,6 +306,15 @@ class ConsolidationService {
   void FinalizeRequest(Request* request);
   /// Serialized event delivery.
   void Emit(const Request& request, ServeEvent event);
+  /// Emit for a request known only by id (retry decorator callbacks);
+  /// silently drops unattributed (id 0) or already-erased requests.
+  void EmitForRequestId(uint64_t id, ServeEvent event);
+  /// Requires mutex_. Reaps oldest completed-unwaited results past
+  /// max_retained_results.
+  void ReapRetained();
+  /// options_.retry with the service's kRetried / kBreakerOpen event
+  /// emission chained in front of any user callbacks.
+  RetryingOracle::Options WireRetryOptions();
 
   friend class ServeEventOracle;
 
@@ -237,6 +328,9 @@ class ConsolidationService {
   /// boost_tokens_) and returns it on completion, so concurrently
   /// running jobs never exceed the budget and none of it idles.
   int per_job_threads_ = 1;
+  /// Declared before broker_ so the broker can front it: with
+  /// enable_retry the call chain is broker -> retrying -> backend.
+  std::unique_ptr<RetryingOracle> retrying_;
   OracleBroker broker_;
   SearchResultCache search_cache_;
 
@@ -249,7 +343,10 @@ class ConsolidationService {
   std::vector<uint64_t> completion_order_;
   uint64_t next_id_ = 1;
   uint64_t next_arrival_ = 0;
-  uint64_t cycle_ = 1;  // fairness round-robin cycle
+  uint64_t cycle_ = 1;      // fairness round-robin cycle
+  uint64_t grant_seq_ = 0;  // total grants; drives fairness aging
+  /// Completed-but-unwaited handles in completion order (GC candidates).
+  std::deque<uint64_t> retained_;
   /// Requests past the admission check but not yet in active_ (their
   /// kAdmitted event is being emitted outside the lock); counted against
   /// max_pending_requests so concurrent Submits cannot overshoot it.
@@ -261,6 +358,10 @@ class ConsolidationService {
   size_t requests_completed_ = 0;
   size_t columns_dispatched_ = 0;
   size_t max_concurrent_requests_ = 0;
+  size_t requests_cancelled_ = 0;
+  size_t requests_deadline_exceeded_ = 0;
+  size_t aged_grants_ = 0;
+  size_t handles_reaped_ = 0;
 
   std::mutex event_mutex_;     // serializes on_event callbacks
   std::mutex progress_mutex_;  // serializes framework progress callbacks

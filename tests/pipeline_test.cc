@@ -180,6 +180,72 @@ TEST(OracleBrokerTest, BackendExceptionPropagatesAndBrokerRecovers) {
   EXPECT_EQ(stats.cache_hits, 1u);
 }
 
+TEST(OracleBrokerTest, ThrowingCombinerLeavesCacheAndLogConsistent) {
+  // Satellite pin (PR "robustness"): a backend throw mid-combine must not
+  // leave partial entries behind — no verdict cached, nothing appended to
+  // the approved log — and both must work normally for the question
+  // afterwards.
+  FlakyOracle backend;  // throws on the first call, approves afterwards
+  OracleBroker broker(&backend);
+  QuestionContext context;
+  context.column = "addr";
+  context.program = "ConstantStr(\"x\")";
+  context.presented = 1;
+  EXPECT_THROW(broker.VerifyWithContext(Question("9"), context),
+               std::runtime_error);
+  // Consistent failure state: no cache entry (a re-ask must reach the
+  // backend, not replay a phantom verdict) and no log entry (the replay
+  // log only ever records delivered approvals).
+  EXPECT_EQ(broker.stats().cache_hits, 0u);
+  EXPECT_TRUE(broker.ApprovedLog().empty());
+  // The re-ask is served, cached and logged exactly once.
+  EXPECT_TRUE(broker.VerifyWithContext(Question("9"), context).approved);
+  EXPECT_TRUE(broker.VerifyWithContext(Question("9"), context).approved);
+  OracleBrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.backend_calls, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(broker.ApprovedLog().size(), 1u);
+}
+
+TEST(OracleBrokerTest, ThrowingCombinerFailsOnlyTheAskingRequest) {
+  // Concurrent askers during a backend failure: only the question whose
+  // backend call threw fails; every other queued question is still served
+  // (possibly by the same combiner pass) and the broker stays usable.
+  class PoisonOracle : public VerificationOracle {
+   public:
+    Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+      if (group_pairs[0].lhs.find("poison") != std::string::npos) {
+        throw std::runtime_error("backend refused");
+      }
+      if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+      Verdict verdict;
+      verdict.approved = true;
+      return verdict;
+    }
+    std::chrono::milliseconds delay_{0};
+  };
+  PoisonOracle backend;
+  backend.delay_ = std::chrono::milliseconds(5);  // lets a batch form
+  OracleBroker broker(&backend);
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> failed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string tag =
+          i == 0 ? std::string("poison") : "clean" + std::to_string(i);
+      try {
+        if (broker.Verify(Question(tag)).approved) ++served;
+      } catch (const std::runtime_error&) {
+        ++failed;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failed.load(), 1u);
+  EXPECT_EQ(served.load(), 5u);
+}
+
 TEST(OracleBrokerTest, ApprovedLogIsSortedDedupedAndParseable) {
   CountingOracle backend;
   OracleBroker broker(&backend);

@@ -6,8 +6,10 @@
 #include "consolidate/framework.h"
 #include "consolidate/oracle.h"
 #include "consolidate/replay.h"
+#include "datagen/generators.h"
 #include "dsl/parser.h"
 #include "eval/metrics.h"
+#include "pipeline/oracle_broker.h"
 
 namespace ustl {
 namespace {
@@ -119,6 +121,79 @@ TEST(TransformationLogTest, EmptyLogIsEmpty) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed->empty());
 }
+
+TEST(TransformationLogTest, PairLinesRoundTripWithEscapes) {
+  ApprovedTransformation a;
+  a.column = "authors";
+  a.program = KeepDigits();
+  a.pairs.push_back({"smith, \"chris\"", "s. smith"});
+  a.pairs.push_back({"line\nbreak \\ slash", "clean"});
+  std::string log = SerializeTransformationLog({a});
+  Result<std::vector<ApprovedTransformation>> parsed =
+      ParseTransformationLog(log);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  ASSERT_EQ((*parsed)[0].pairs.size(), 2u);
+  EXPECT_EQ((*parsed)[0].pairs[0], a.pairs[0]);
+  EXPECT_EQ((*parsed)[0].pairs[1], a.pairs[1]);
+  EXPECT_FALSE(ParseTransformationLog("pair: no quotes\n"
+                                      "program: ConstantStr(\"x\")\n")
+                   .ok());
+  EXPECT_FALSE(ParseTransformationLog("pair: \"a\" -> \"unterminated\n"
+                                      "program: ConstantStr(\"x\")\n")
+                   .ok());
+}
+
+TEST(ApplyTransformationTest, RecordedPairsApplyOnlyThoseMembers) {
+  // Both clusters hold a pair consistent with KeepDigits, but the session
+  // only approved the first one: replay with recorded members must leave
+  // the other cluster untouched (the over-application that used to break
+  // the authorlist round trip).
+  Column column = {{"9th", "9"}, {"22nd", "22"}};
+  ApprovedTransformation transformation;
+  transformation.program = KeepDigits();
+  transformation.pairs.push_back({"9th", "9"});
+  EXPECT_EQ(ApplyTransformation(&column, transformation), 1u);
+  EXPECT_EQ(column[0], (std::vector<std::string>{"9", "9"}));
+  EXPECT_EQ(column[1], (std::vector<std::string>{"22nd", "22"}));
+}
+
+// The live session and a replay of its approved log must agree byte for
+// byte on every generated dataset — the replay-fidelity contract behind
+// `ustl-consolidate --log/--replay`. Mirrors the CLI defaults (broker in
+// front of an approve-all backend, default budget and candidate options).
+class ReplayRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReplayRoundTrip, LogReplaysByteIdentically) {
+  GeneratedDataset dataset;
+  AllDatasets all = GenerateAllDatasets(0.05, 7);
+  std::string which = GetParam();
+  if (which == "address") dataset = std::move(all.address);
+  if (which == "authorlist") dataset = std::move(all.author_list);
+  if (which == "journaltitle") dataset = std::move(all.journal_title);
+  ASSERT_FALSE(dataset.column.empty());
+
+  Column live = dataset.column;
+  ApproveAllOracle approve_all;
+  OracleBroker broker(&approve_all);
+  FrameworkOptions options;
+  options.column_name = "value";
+  ColumnRunResult result = StandardizeColumn(&live, &broker, options);
+  ASSERT_GT(result.groups_approved, 0u);
+
+  Result<std::vector<ApprovedTransformation>> parsed =
+      ParseTransformationLog(broker.SerializeApprovedLog());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Column replayed = dataset.column;
+  for (const ApprovedTransformation& transformation : *parsed) {
+    ApplyTransformation(&replayed, transformation);
+  }
+  EXPECT_EQ(replayed, live) << which << " replay diverged from the session";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, ReplayRoundTrip,
+                         ::testing::Values("address", "authorlist",
+                                           "journaltitle"));
 
 TEST(ReplayEndToEndTest, ApproveOnceReplayOnSecondBatch) {
   // Batch 1 goes through real verification; the approved groups are

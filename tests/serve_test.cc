@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consolidate/oracle.h"
+#include "pipeline/fault_oracle.h"
 #include "pipeline/pipeline.h"
 #include "serve/service.h"
 
@@ -342,6 +346,304 @@ TEST(ConsolidationServiceTest, ZeroColumnTableCompletesImmediately) {
   RequestResult result = service.Wait(service.Submit(&empty));
   EXPECT_TRUE(result.per_column.empty());
   EXPECT_EQ(service.stats().requests_completed, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerance matrix (PR "robustness"): threads x fault plans x
+// cancel points, byte-identity on survivors, bounded cancel latency.
+// ---------------------------------------------------------------------
+
+TEST(ServiceFaultToleranceTest,
+     ByteIdenticalUnderEventuallySuccessfulFaultPlans) {
+  // Every (threads x cache x fault-plan) cell must reproduce the serial
+  // clean run byte for byte: retries recover every injected failure
+  // (max_attempts > failures_per_question) and verdicts are pure
+  // functions of question content, so the faults change only how often
+  // the backend is asked.
+  const std::vector<Table> originals = {MakeTable("Oak", 2, 5),
+                                        MakeTable("Pine", 1, 6)};
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  std::vector<FaultPlan> plans(2);
+  plans[0].fault_rate = 0.7;
+  plans[0].failures_per_question = 2;
+  plans[0].seed = 3;
+  plans[1].fault_rate = 1.0;  // every question fails once
+  plans[1].failures_per_question = 1;
+  plans[1].seed = 4;
+
+  for (int threads : {1, 4}) {
+    for (bool cache : {true, false}) {
+      for (size_t p = 0; p < plans.size(); ++p) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                        << " cache=" << cache << " plan=" << p);
+        ApproveAllOracle backend;
+        FaultInjectingOracle faulty(&backend, plans[p]);
+        ServiceOptions options;
+        options.framework = TestFramework();
+        options.num_threads = threads;
+        options.broker.cache_verdicts = cache;
+        options.enable_retry = true;
+        options.retry.max_attempts = 3;
+        ConsolidationService service(&faulty, options);
+        std::vector<Table> tables = originals;
+        std::vector<uint64_t> handles;
+        for (Table& table : tables) handles.push_back(service.Submit(&table));
+        for (size_t t = 0; t < tables.size(); ++t) {
+          RequestResult result = service.Wait(handles[t]);
+          EXPECT_EQ(result.status, RequestStatus::kOk);
+          EXPECT_EQ(
+              FingerprintConsolidation(tables[t], result.golden_records),
+              baselines[t]);
+        }
+        const ServiceStats stats = service.stats();
+        EXPECT_GT(faulty.faults_injected(), 0u);
+        EXPECT_GT(stats.retry.retries, 0u);
+        EXPECT_EQ(stats.retry.exhausted, 0u);
+        EXPECT_EQ(stats.retry.breaker_opens, 0u);
+      }
+    }
+  }
+}
+
+TEST(ServiceFaultToleranceTest, RetriedQuestionsEmitKRetriedEvents) {
+  FaultPlan plan;
+  plan.fault_rate = 1.0;
+  plan.failures_per_question = 1;
+  ApproveAllOracle backend;
+  FaultInjectingOracle faulty(&backend, plan);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.enable_retry = true;
+  options.retry.max_attempts = 2;
+  ConsolidationService service(&faulty, options);
+  Table table = MakeTable("Elm", 1, 4);
+  size_t retried = 0;  // serialized callback: no lock needed
+  RequestOptions request;
+  request.on_event = [&](const ServeEvent& event) {
+    if (event.kind == ServeEvent::Kind::kRetried) {
+      ++retried;
+      EXPECT_EQ(event.attempt, 1);  // first attempt failed
+    }
+  };
+  RequestResult result = service.Wait(service.Submit(&table, request));
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  EXPECT_GT(retried, 0u);
+  EXPECT_EQ(service.stats().retry.retries, retried);
+}
+
+TEST(ServiceFaultToleranceTest, PreAdmissionCancelCommitsNothing) {
+  // Cancelled while paused, before any column job ran: the request
+  // finalizes kCancelled without touching its table, and the survivor
+  // admitted alongside it stays byte-identical.
+  Table doomed = MakeTable("Doom", 2, 5);
+  const Table doomed_before = doomed;
+  Table survivor = MakeTable("Oak", 1, 6);
+  const std::string baseline = SerialFingerprint(survivor);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.start_paused = true;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<ServeEvent::Kind> kinds;
+  RequestOptions request;
+  request.on_event = [&](const ServeEvent& event) {
+    kinds.push_back(event.kind);
+  };
+  const uint64_t doomed_handle = service.Submit(&doomed, request);
+  const uint64_t survivor_handle = service.Submit(&survivor);
+  service.Cancel(doomed_handle);
+  service.Resume();
+
+  RequestResult cancelled = service.Wait(doomed_handle);
+  EXPECT_EQ(cancelled.status, RequestStatus::kCancelled);
+  EXPECT_TRUE(cancelled.per_column.empty());
+  EXPECT_TRUE(cancelled.golden_records.empty());
+  EXPECT_EQ(FingerprintConsolidation(doomed, {}),
+            FingerprintConsolidation(doomed_before, {}));  // untouched
+  ASSERT_GE(kinds.size(), 3u);
+  EXPECT_EQ(kinds[kinds.size() - 2], ServeEvent::Kind::kCancelled);
+  EXPECT_EQ(kinds.back(), ServeEvent::Kind::kRequestDone);
+
+  RequestResult alive = service.Wait(survivor_handle);
+  EXPECT_EQ(alive.status, RequestStatus::kOk);
+  EXPECT_EQ(FingerprintConsolidation(survivor, alive.golden_records),
+            baseline);
+  EXPECT_EQ(service.stats().requests_cancelled, 1u);
+}
+
+TEST(ServiceFaultToleranceTest, MidColumnCancelUnwindsAndSparesSurvivors) {
+  // Cancel from inside the request's own event stream after the first
+  // verdict (the documented event-callback-safe use of Cancel): the
+  // in-flight column unwinds at a checkpoint, the table stays untouched
+  // and concurrently running requests still match the serial baseline.
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    Table doomed = MakeTable("Doom", 2, 6);
+    const Table doomed_before = doomed;
+    Table survivor = MakeTable("Pine", 1, 6);
+    const std::string baseline = SerialFingerprint(survivor);
+    ServiceOptions options;
+    options.framework = TestFramework();
+    options.num_threads = threads;
+    ApproveAllOracle oracle;
+    ConsolidationService service(&oracle, options);
+    RequestOptions request;
+    request.on_event = [&](const ServeEvent& event) {
+      // The event carries its own request id, so the very first verdict
+      // can cancel even if it beats Submit's return.
+      if (event.kind == ServeEvent::Kind::kVerdict) {
+        service.Cancel(event.request);
+      }
+    };
+    const uint64_t doomed_handle = service.Submit(&doomed, request);
+    const uint64_t survivor_handle = service.Submit(&survivor);
+
+    const auto cancel_started = std::chrono::steady_clock::now();
+    RequestResult cancelled = service.Wait(doomed_handle);
+    const auto cancel_latency =
+        std::chrono::steady_clock::now() - cancel_started;
+    EXPECT_EQ(cancelled.status, RequestStatus::kCancelled);
+    EXPECT_TRUE(cancelled.per_column.empty());
+    EXPECT_EQ(FingerprintConsolidation(doomed, {}),
+              FingerprintConsolidation(doomed_before, {}));
+    // Bounded cancel latency: the unwind is checkpoint-to-checkpoint on
+    // a small table, nowhere near this ceiling unless cancellation hangs.
+    EXPECT_LT(cancel_latency, std::chrono::seconds(30));
+
+    RequestResult alive = service.Wait(survivor_handle);
+    EXPECT_EQ(alive.status, RequestStatus::kOk);
+    EXPECT_EQ(FingerprintConsolidation(survivor, alive.golden_records),
+              baseline);
+  }
+}
+
+TEST(ServiceFaultToleranceTest, DeadlineExceededReturnsTypedStatus) {
+  // A 1 ms deadline against a slow oracle (every question sleeps):
+  // the request must come back kDeadlineExceeded — promptly, not after
+  // serving the whole table — with nothing committed.
+  FaultPlan plan;
+  plan.slow_rate = 1.0;
+  plan.slow_ms = 25;
+  ApproveAllOracle backend;
+  FaultInjectingOracle slow(&backend, plan);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  ConsolidationService service(&slow, options);
+  Table doomed = MakeTable("Slow", 1, 8);
+  const Table doomed_before = doomed;
+  RequestOptions request;
+  request.deadline_ms = 1;
+  const auto started = std::chrono::steady_clock::now();
+  RequestResult result = service.Wait(service.Submit(&doomed, request));
+  const auto latency = std::chrono::steady_clock::now() - started;
+  EXPECT_EQ(result.status, RequestStatus::kDeadlineExceeded);
+  EXPECT_TRUE(result.per_column.empty());
+  EXPECT_EQ(FingerprintConsolidation(doomed, {}),
+            FingerprintConsolidation(doomed_before, {}));
+  EXPECT_LT(latency, std::chrono::seconds(30));
+  EXPECT_EQ(service.stats().requests_deadline_exceeded, 1u);
+  // The service still serves: an undeadlined request runs clean.
+  Table alive = MakeTable("Slow", 1, 8);
+  RequestResult ok = service.Wait(service.Submit(&alive));
+  EXPECT_EQ(ok.status, RequestStatus::kOk);
+}
+
+TEST(ServiceFaultToleranceTest, ExhaustedRetriesFailOnlyTheAskingRequest) {
+  // A persistently faulty backend exhausts the poisoned request's
+  // retries; the clean request sharing the service (and the broker
+  // batch) still completes byte-identically.
+  class SelectiveFaultOracle : public VerificationOracle {
+   public:
+    Verdict Verify(const std::vector<StringPair>& group_pairs) override {
+      for (const StringPair& pair : group_pairs) {
+        if (pair.lhs.find("Doom") != std::string::npos) {
+          throw std::runtime_error("backend refuses this table");
+        }
+      }
+      Verdict verdict;
+      verdict.approved = true;
+      return verdict;
+    }
+  };
+  Table doomed = MakeTable("Doom", 1, 4);
+  Table survivor = MakeTable("Oak", 1, 6);
+  const std::string baseline = SerialFingerprint(survivor);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 2;
+  options.enable_retry = true;
+  options.retry.max_attempts = 2;
+  options.retry.breaker_failure_threshold = 0;  // isolate retry semantics
+  SelectiveFaultOracle oracle;
+  ConsolidationService service(&oracle, options);
+  const uint64_t doomed_handle = service.Submit(&doomed);
+  const uint64_t survivor_handle = service.Submit(&survivor);
+  EXPECT_THROW(service.Wait(doomed_handle), std::runtime_error);
+  RequestResult alive = service.Wait(survivor_handle);
+  EXPECT_EQ(alive.status, RequestStatus::kOk);
+  EXPECT_EQ(FingerprintConsolidation(survivor, alive.golden_records),
+            baseline);
+  EXPECT_GT(service.stats().retry.exhausted, 0u);
+}
+
+TEST(ConsolidationServiceTest, HandleGcReapsOldestUnwaitedResult) {
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.max_retained_results = 1;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables(3, MakeTable("Ash", 1, 4));
+  std::vector<uint64_t> handles;
+  for (Table& table : tables) handles.push_back(service.Submit(&table));
+  // Let everything complete without waiting any handle.
+  while (service.stats().requests_completed < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Two oldest completed-unwaited handles were reaped; the newest kept.
+  EXPECT_EQ(service.stats().handles_reaped, 2u);
+  RequestResult reaped = service.Wait(handles[0]);
+  EXPECT_EQ(reaped.status, RequestStatus::kReaped);
+  EXPECT_TRUE(reaped.per_column.empty());
+  RequestResult kept = service.Wait(handles[2]);
+  EXPECT_EQ(kept.status, RequestStatus::kOk);
+  EXPECT_FALSE(kept.per_column.empty());
+  // The tables themselves were standardized either way — reaping frees
+  // the result summary, not the committed work.
+  EXPECT_EQ(FingerprintConsolidation(tables[0], {}),
+            FingerprintConsolidation(tables[2], {}));
+}
+
+TEST(ConsolidationServiceTest, AgingKeepsOutputByteIdentical) {
+  // An aggressive aging threshold reorders grants, never bytes: with
+  // multi-column tables and threshold 1 the scheduler constantly
+  // preempts, and each table still matches its serial baseline.
+  const std::vector<Table> originals = {MakeTable("Oak", 3, 5),
+                                        MakeTable("Pine", 3, 4),
+                                        MakeTable("Ash", 2, 6)};
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 2;
+  options.start_paused = true;
+  options.aging_grant_threshold = 1;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables = originals;
+  std::vector<uint64_t> handles;
+  for (Table& table : tables) handles.push_back(service.Submit(&table));
+  service.Resume();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    RequestResult result = service.Wait(handles[t]);
+    EXPECT_EQ(FingerprintConsolidation(tables[t], result.golden_records),
+              baselines[t]);
+  }
+  EXPECT_GT(service.stats().aged_grants, 0u);
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 #
 # A third leg builds the parallel subsystems under ThreadSanitizer
 # (-DUSTL_TSAN=ON) and runs parallel_test / grouping_test /
-# pipeline_test — the wave scans and the thread pool are only honest if
-# an instrumented run agrees. Set USTL_CHECK_SKIP_TSAN=1 to skip it.
+# pipeline_test / serve_test / robustness_test — the wave scans, the
+# thread pool, the service and the retry/cancel machinery are only
+# honest if an instrumented run agrees. Set USTL_CHECK_SKIP_TSAN=1 to
+# skip it.
 set -eu
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
@@ -102,22 +104,46 @@ for t in a b c; do
 done
 echo "block-codec serve smoke: byte-identical"
 
-# Perf-regression gate (ISSUE 6 acceptance): rerun the self-checking
-# micro-kernel suite and gate its hardware-independent ratio metrics
-# (speedup_vs_seed, compression_ratio, zero allocs, nonzero skip/prune
-# counters) against the recorded BENCH_*_posting_codec.json trajectory.
+# Fault-sweep byte-compare (ISSUE 7 acceptance): the same three tables
+# under an eventually-successful fault plan (every faulty backend call
+# recovers within the retry budget) must still match the clean serial
+# baselines byte for byte — retries may cost time, never bytes. A second
+# sweep with injected latency plus a far-future deadline checks the
+# deadline plumbing is inert when it does not fire.
+for threads in 1 4; do
+  ./build/ustl-serve --manifest build/serve_fwd.txt --threads "$threads" \
+    --fault-plan "rate=0.6,fails=2,seed=9" --retry-attempts 4
+  for t in a b c; do
+    cmp build/serve_$t.base.csv build/serve_$t.out.csv
+  done
+done
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+  --fault-plan "rate=0.5,fails=1,slow=0.3,slow_ms=2,seed=11" \
+  --deadline-ms 600000
+for t in a b c; do
+  cmp build/serve_$t.base.csv build/serve_$t.out.csv
+done
+echo "fault-sweep serve smoke: byte-identical"
+
+# Perf-regression gate (ISSUE 6 + ISSUE 7 acceptance): rerun the
+# self-checking micro-kernel suite plus the robustness legs and gate
+# their hardware-independent metrics (speedup_vs_seed, compression_ratio,
+# zero allocs, nonzero skip/prune counters, retries recovered with
+# byte-identical output, breaker trips, bounded cancel latency, <=2%
+# zero-fault overhead) against the recorded BENCH_* trajectory.
 # Set USTL_CHECK_SKIP_BENCH=1 to skip (e.g. on heavily loaded boxes).
 if [ "${USTL_CHECK_SKIP_BENCH:-0}" != "1" ]; then
   ./build/bench_micro_kernels > build/bench_fresh.json
+  ./build/bench_robustness_serve >> build/bench_fresh.json
   python3 tools/check_bench.py --fresh build/bench_fresh.json
 fi
 
 if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DUSTL_TSAN=ON
   cmake --build build-tsan -j"$JOBS" --target parallel_test grouping_test \
-    pipeline_test serve_test
+    pipeline_test serve_test robustness_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "parallel_test|grouping_test|pipeline_test|serve_test")
+    -R "parallel_test|grouping_test|pipeline_test|serve_test|robustness_test")
 fi
 
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the recorded BENCH_* trajectory.
 
-Compares a fresh bench_micro_kernels run (JSON lines on a file or stdin)
-against the most recent recorded BENCH_*_posting_codec.json and fails on
-a >15% regression. Only hardware-independent *ratio* metrics are gated —
+Compares a fresh bench run (bench_micro_kernels plus
+bench_robustness_serve, JSON lines on a file or stdin) against the most
+recent recorded BENCH_*_posting_codec.json and fails on a >15%
+regression. Only hardware-independent *ratio* metrics are gated —
 speedups, compression ratios, allocation counts, skip/prune activity —
 never absolute nanoseconds: CI boxes and the box that recorded the
 trajectory do not share a clock, but they must agree that the fused
@@ -46,6 +47,30 @@ GATES = {
     ("pivot_search_codec", "block"): [
         ("blocks_skipped", "nonzero", None),
         ("joins_pruned", "nonzero", None),
+    ],
+    # Robustness legs (ISSUE 7) gate only hardware-independent facts: the
+    # fault machinery engaged, nothing exhausted its retry budget, output
+    # stayed byte-identical, cancellation returned in bounded time (a
+    # hang detector, hence the generous ceiling), and the armed-but-idle
+    # plumbing costs <= 2% over the plain service (best-of-5 minima).
+    ("robustness_serve", "fault_sweep"): [
+        ("faults_injected", "nonzero", None),
+        ("retries", "nonzero", None),
+        ("recovered", "nonzero", None),
+        ("exhausted", "exact_max", 0.0),
+        ("byte_identical", "nonzero", None),
+    ],
+    ("robustness_serve", "breaker"): [
+        ("breaker_opens", "nonzero", None),
+        ("short_circuits", "nonzero", None),
+        ("service_alive", "nonzero", None),
+    ],
+    ("robustness_serve", "cancel"): [
+        ("cancelled", "nonzero", None),
+        ("cancel_latency_ms", "exact_max", 5000.0),
+    ],
+    ("robustness_serve", "zero_fault"): [
+        ("overhead_ratio", "exact_max", 1.02),
     ],
 }
 
@@ -139,7 +164,7 @@ def main():
                 if float(value) <= 0:
                     failures.append(
                         f"{bench}/{variant}: {metric} is zero — the "
-                        f"skip/prune machinery never engaged")
+                        f"gated machinery never engaged")
 
     if failures:
         print(f"check_bench: {len(failures)} failure(s) vs "

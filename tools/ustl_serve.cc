@@ -31,12 +31,14 @@
 // deterministic).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/timer.h"
 #include "consolidate/oracle.h"
 #include "io/csv.h"
+#include "pipeline/fault_oracle.h"
 #include "serve/service.h"
 
 namespace {
@@ -62,6 +64,9 @@ struct Args {
   std::string search_cache = "on";
   std::string index_codec = "raw";
   bool events = false;
+  int64_t deadline_ms = 0;    // per-request deadline; 0 = none
+  std::string fault_plan;     // FaultPlan spec; empty = no injection
+  int retry_attempts = 4;     // retry budget when a fault plan is active
 };
 
 void Usage() {
@@ -76,6 +81,12 @@ void Usage() {
       "                  [--max-cache-entries N (default: 0 = unbounded)]\n"
       "                  [--index-codec raw|block (default: raw)]\n"
       "                  [--events]\n"
+      "                  [--deadline-ms N (default: 0 = no deadline)]\n"
+      "                  [--fault-plan SPEC (e.g. rate=0.5,fails=2,seed=7;\n"
+      "                   default: none; wraps the oracle in seeded fault\n"
+      "                   injection and fronts it with bounded retries)]\n"
+      "                  [--retry-attempts N (default: 4; retry budget\n"
+      "                   used when --fault-plan is active)]\n"
       "\n"
       "Runs a manifest of tables concurrently through one long-lived\n"
       "consolidation service; per-table output is byte-identical to a\n"
@@ -123,6 +134,12 @@ const char* EventKindName(ServeEvent::Kind kind) {
       return "column_done";
     case ServeEvent::Kind::kRequestDone:
       return "request_done";
+    case ServeEvent::Kind::kRetried:
+      return "retried";
+    case ServeEvent::Kind::kCancelled:
+      return "cancelled";
+    case ServeEvent::Kind::kBreakerOpen:
+      return "breaker_open";
   }
   return "unknown";
 }
@@ -150,6 +167,16 @@ void PrintEvent(const ServeEvent& event) {
     }
     std::printf(", \"presented\": %zu, \"approved\": %zu, \"edits\": %zu",
                 event.groups_presented, event.groups_approved, event.edits);
+    if (event.kind == ServeEvent::Kind::kRequestDone) {
+      std::printf(", \"status\": \"%s\"", RequestStatusName(event.status));
+    }
+  } else if (event.kind == ServeEvent::Kind::kRetried) {
+    std::printf(", \"attempt\": %d", event.attempt);
+  } else if (event.kind == ServeEvent::Kind::kCancelled) {
+    std::printf(", \"status\": \"%s\"", RequestStatusName(event.status));
+  } else if (event.kind == ServeEvent::Kind::kBreakerOpen) {
+    std::printf(", \"open\": %s",
+                event.status == RequestStatus::kOk ? "false" : "true");
   }
   std::printf("}\n");
   std::fflush(stdout);
@@ -256,6 +283,12 @@ int main(int argc, char** argv) {
       args.index_codec = next("--index-codec");
     } else if (std::strcmp(argv[i], "--events") == 0) {
       args.events = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      args.deadline_ms = std::strtoll(next("--deadline-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      args.fault_plan = next("--fault-plan");
+    } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
+      args.retry_attempts = std::atoi(next("--retry-attempts"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -303,8 +336,22 @@ int main(int argc, char** argv) {
       args.search_cache == "on";
   service_options.framework.grouping.index_codec =
       args.index_codec == "block" ? IndexCodec::kBlock : IndexCodec::kRaw;
+  // Oracle chain: approve-all backend, optionally wrapped in seeded fault
+  // injection (--fault-plan), in which case the service fronts it with a
+  // retry/breaker decorator so eventually-successful plans still produce
+  // byte-identical output (the fault-sweep CI legs byte-compare this).
   ApproveAllOracle approve_all;
-  ConsolidationService service(&approve_all, service_options);
+  VerificationOracle* oracle = &approve_all;
+  std::unique_ptr<FaultInjectingOracle> fault_oracle;
+  if (!args.fault_plan.empty()) {
+    Result<FaultPlan> plan = FaultPlan::FromSpec(args.fault_plan);
+    if (!plan.ok()) return Fail(plan.status());
+    fault_oracle = std::make_unique<FaultInjectingOracle>(oracle, *plan);
+    oracle = fault_oracle.get();
+    service_options.enable_retry = true;
+    service_options.retry.max_attempts = args.retry_attempts;
+  }
+  ConsolidationService service(oracle, service_options);
   std::printf("serving %zu table(s) x %zu round(s) on %d worker(s)\n",
               entries->size(), args.repeat, service.workers());
 
@@ -316,6 +363,7 @@ int main(int argc, char** argv) {
     for (size_t t = 0; t < entries->size(); ++t) {
       RequestOptions request;
       request.label = (*entries)[t].id;
+      request.deadline_ms = args.deadline_ms;
       if ((*entries)[t].budget > 0) {
         FrameworkOptions framework = service_options.framework;
         framework.budget_per_column = (*entries)[t].budget;
@@ -330,6 +378,15 @@ int main(int argc, char** argv) {
     for (size_t t = 0; t < entries->size(); ++t) {
       const ManifestEntry& entry = (*entries)[t];
       RequestResult result = service.Wait(handles[t]);
+      if (result.status != RequestStatus::kOk) {
+        // Cancelled / past-deadline requests committed nothing; report
+        // the typed status instead of writing an untouched table.
+        std::printf("{\"table\": \"%s\", \"round\": %zu, \"status\": "
+                    "\"%s\"}\n",
+                    JsonEscape(entry.id).c_str(), round,
+                    RequestStatusName(result.status));
+        continue;
+      }
       for (const ColumnRunResult& column : result.per_column) {
         searches += column.grouping.searches;
         warm_hits += column.grouping.warm_hits;
@@ -354,7 +411,9 @@ int main(int argc, char** argv) {
         "\"tables_per_sec\": %.2f, \"questions\": %zu, "
         "\"oracle_calls\": %zu, \"oracle_cache_hits\": %zu, "
         "\"oracle_evictions\": %zu, \"searches\": %llu, "
-        "\"search_warm_hits\": %llu, \"warm_started_engines\": %zu}\n",
+        "\"search_warm_hits\": %llu, \"warm_started_engines\": %zu, "
+        "\"retries\": %zu, \"recovered\": %zu, \"breaker_opens\": %zu, "
+        "\"cancelled\": %zu, \"deadline_exceeded\": %zu}\n",
         round, entries->size(), seconds,
         seconds > 0 ? static_cast<double>(entries->size()) / seconds : 0.0,
         now.oracle.questions - previous.oracle.questions,
@@ -363,7 +422,12 @@ int main(int argc, char** argv) {
         now.oracle.evictions - previous.oracle.evictions,
         static_cast<unsigned long long>(searches),
         static_cast<unsigned long long>(warm_hits),
-        now.search_cache.warm_starts - previous.search_cache.warm_starts);
+        now.search_cache.warm_starts - previous.search_cache.warm_starts,
+        now.retry.retries - previous.retry.retries,
+        now.retry.recovered - previous.retry.recovered,
+        now.retry.breaker_opens - previous.retry.breaker_opens,
+        now.requests_cancelled - previous.requests_cancelled,
+        now.requests_deadline_exceeded - previous.requests_deadline_exceeded);
     previous = now;
   }
   return 0;
