@@ -6,8 +6,10 @@
 #ifndef USTL_BENCH_BENCH_UTIL_H_
 #define USTL_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consolidate/framework.h"
@@ -31,6 +33,33 @@ inline double BenchScale(double fallback = 0.5) {
 inline uint64_t BenchSeed() {
   const char* env = std::getenv("USTL_BENCH_SEED");
   return env == nullptr ? 17 : std::strtoull(env, nullptr, 10);
+}
+
+/// One environment-attribution line per JSON-emitting bench binary, so a
+/// recorded trajectory says what machine and toolchain produced it. The
+/// "environment" variant carries no gated metrics — check_bench.py keys
+/// gates by (bench, variant) and never looks this line up.
+inline void PrintEnvironmentJson(const char* bench_name) {
+  char compiler[64];
+#if defined(__clang__)
+  std::snprintf(compiler, sizeof(compiler), "clang %d.%d.%d",
+                __clang_major__, __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::snprintf(compiler, sizeof(compiler), "gcc %d.%d.%d", __GNUC__,
+                __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  std::snprintf(compiler, sizeof(compiler), "unknown");
+#endif
+#if defined(NDEBUG)
+  const char* build_type = "Release";
+#else
+  const char* build_type = "Debug";
+#endif
+  std::printf(
+      "{\"bench\": \"%s\", \"variant\": \"environment\", "
+      "\"hardware_threads\": %u, \"compiler\": \"%s\", "
+      "\"build_type\": \"%s\"}\n",
+      bench_name, std::thread::hardware_concurrency(), compiler, build_type);
 }
 
 /// The three datasets with their paper budgets (200/100/100 groups).

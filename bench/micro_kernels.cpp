@@ -758,6 +758,7 @@ void RunPostingCodecComparison() {
 }  // namespace ustl
 
 int main(int argc, char** argv) {
+  ustl::bench::PrintEnvironmentJson("micro_kernels");
 #if defined(USTL_HAVE_GOOGLE_BENCHMARK)
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -69,6 +69,7 @@ ConfigResult RunConfig(const GeneratedDataset& data, int threads,
 }  // namespace
 
 int main() {
+  PrintEnvironmentJson("pipeline_columns");
   const double scale = BenchScale(0.15);
   printf("=== Pipeline: column-parallel consolidation over %zu replicated "
          "Address columns (scale=%.2f) ===\n\n",

@@ -59,6 +59,7 @@ bool SameGroups(const std::vector<Group>& a, const std::vector<Group>& b) {
 }  // namespace
 
 int main() {
+  PrintEnvironmentJson("pivot_scan");
   printf("=== Pivot scan: threads x search-cache sweep (incremental drain) "
          "===\n\n");
   AddressGenOptions gen;

@@ -1,4 +1,4 @@
-// Robustness bench for the fault-tolerance layer (serve + pipeline). Four
+// Robustness bench for the fault-tolerance layer (serve + pipeline). Five
 // legs, one JSON line each, all gated on hardware-independent metrics by
 // tools/check_bench.py:
 //
@@ -16,7 +16,14 @@
 //   * zero_fault — the whole cancellation/retry plumbing armed but idle
 //     (zero-fault plan, far-future deadline) vs. the plain service:
 //     throughput overhead must stay within 2% (best-of-5 alternating
-//     timing — the minimum filters scheduler noise).
+//     timing — the minimum filters scheduler noise);
+//   * obs_overhead — full observability armed (a per-request trace sink
+//     that formats every span, plus an in-process metrics scrape) vs.
+//     the untraced service: overhead must stay within 2% and output
+//     byte-identical (the ISSUE 8 zero-perturbation gate). The sink is
+//     CountingTraceSink — it pays the full JSON formatting cost and
+//     discards the bytes, so the measurement prices emission honestly
+//     without timing the filesystem.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -24,6 +31,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "pipeline/fault_oracle.h"
 #include "pipeline/pipeline.h"
 #include "serve/service.h"
@@ -93,7 +101,9 @@ Workload MakeWorkload(double scale) {
 // whether every table matched its serial baseline.
 double RunWorkload(const Workload& workload, VerificationOracle* oracle,
                    ServiceOptions options, int64_t deadline_ms,
-                   bool* byte_identical, ServiceStats* stats) {
+                   bool* byte_identical, ServiceStats* stats,
+                   TraceSink* trace_sink = nullptr,
+                   size_t* scraped_bytes = nullptr) {
   options.framework = BenchFramework();
   options.num_threads = 4;
   ConsolidationService service(oracle, options);
@@ -103,6 +113,7 @@ double RunWorkload(const Workload& workload, VerificationOracle* oracle,
   for (Table& table : tables) {
     RequestOptions request;
     request.deadline_ms = deadline_ms;
+    request.trace_sink = trace_sink;
     handles.push_back(service.Submit(&table, std::move(request)));
   }
   bool identical = true;
@@ -111,6 +122,11 @@ double RunWorkload(const Workload& workload, VerificationOracle* oracle,
     identical = identical && result.status == RequestStatus::kOk &&
                 FingerprintConsolidation(tables[t], result.golden_records) ==
                     workload.baselines[t];
+  }
+  if (scraped_bytes != nullptr) {
+    // Timed on purpose: the obs_overhead leg prices a live registry
+    // scrape alongside tracing, not just the per-span cost.
+    *scraped_bytes = service.metrics().WriteText().size();
   }
   const double seconds = timer.ElapsedSeconds();
   if (byte_identical != nullptr) *byte_identical = identical;
@@ -121,6 +137,7 @@ double RunWorkload(const Workload& workload, VerificationOracle* oracle,
 }  // namespace
 
 int main() {
+  PrintEnvironmentJson("robustness_serve");
   const double scale = BenchScale(0.06);
   printf("=== Robustness: retries, breaker, cancellation, zero-fault "
          "overhead (scale=%.2f) ===\n\n",
@@ -248,6 +265,44 @@ int main() {
            "\"plain_seconds\": %.4f, \"armed_seconds\": %.4f, "
            "\"overhead_ratio\": %.4f}\n",
            plain_best, armed_best, armed_best / plain_best);
+  }
+
+  // --- obs_overhead: tracing + metrics scrape armed vs. untraced.
+  {
+    double untraced_best = 0.0;
+    double traced_best = 0.0;
+    unsigned long long spans = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      ApproveAllOracle untraced_backend;
+      ServiceOptions untraced_options;
+      const double untraced = RunWorkload(workload, &untraced_backend,
+                                          untraced_options, 0, nullptr,
+                                          nullptr);
+      if (untraced_best == 0.0 || untraced < untraced_best) {
+        untraced_best = untraced;
+      }
+
+      ApproveAllOracle traced_backend;
+      ServiceOptions traced_options;
+      CountingTraceSink sink;
+      bool byte_identical = false;
+      size_t scraped = 0;
+      const double traced =
+          RunWorkload(workload, &traced_backend, traced_options, 0,
+                      &byte_identical, nullptr, &sink, &scraped);
+      if (traced_best == 0.0 || traced < traced_best) traced_best = traced;
+      spans = static_cast<unsigned long long>(sink.count());
+      if (!byte_identical || scraped == 0) {
+        printf("{\"bench\": \"robustness_serve\", \"variant\": "
+               "\"obs_overhead\", \"error\": \"not byte-identical\"}\n");
+        return 1;
+      }
+    }
+    printf("{\"bench\": \"robustness_serve\", \"variant\": \"obs_overhead\", "
+           "\"untraced_seconds\": %.4f, \"traced_seconds\": %.4f, "
+           "\"overhead_ratio\": %.4f, \"spans\": %llu, "
+           "\"byte_identical\": true}\n",
+           untraced_best, traced_best, traced_best / untraced_best, spans);
   }
   return 0;
 }

@@ -53,6 +53,7 @@ void ThreadSweep() {
 }  // namespace
 
 int main() {
+  ustl::bench::PrintEnvironmentJson("scaling_runtime");
   ThreadSweep();
   using namespace ustl;
   using namespace ustl::bench;

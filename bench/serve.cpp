@@ -68,6 +68,7 @@ std::string SerialFingerprint(Table table) {
 }  // namespace
 
 int main() {
+  PrintEnvironmentJson("serve");
   const double scale = BenchScale(0.08);
   printf("=== Serve: multi-table service, warm caches across rounds "
          "(scale=%.2f) ===\n\n",

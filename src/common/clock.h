@@ -1,0 +1,37 @@
+// The one steady-clock seam. Every monotonic time read in the codebase —
+// the bench Timer, the observability span clock, the service's
+// service-relative timestamps — goes through these helpers so there is a
+// single definition of "now" and of the duration conversions, instead of
+// per-file chrono boilerplate. Wall-clock time deliberately has no helper
+// here: nothing in the library may depend on it (determinism contract).
+#ifndef USTL_COMMON_CLOCK_H_
+#define USTL_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ustl {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline SteadyClock::time_point SteadyNow() { return SteadyClock::now(); }
+
+/// Microseconds from `from` to `to` (negative if `to` precedes `from`).
+inline int64_t DurationMicros(SteadyClock::time_point from,
+                              SteadyClock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+/// Microseconds elapsed since `from`.
+inline int64_t MicrosSince(SteadyClock::time_point from) {
+  return DurationMicros(from, SteadyNow());
+}
+
+inline double MicrosToSeconds(int64_t micros) {
+  return static_cast<double>(micros) / 1e6;
+}
+
+}  // namespace ustl
+
+#endif  // USTL_COMMON_CLOCK_H_

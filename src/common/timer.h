@@ -1,10 +1,14 @@
 // Wall-clock timing for the benchmark harnesses (Figure 9 and the
-// ablations). Monotonic clock, microsecond resolution.
+// ablations). Monotonic clock, microsecond resolution; the clock itself
+// is the shared steady-clock seam in common/clock.h, which the
+// observability span clock (obs/trace.h) reads too — one definition of
+// now() and of the duration conversions.
 #ifndef USTL_COMMON_TIMER_H_
 #define USTL_COMMON_TIMER_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "common/clock.h"
 
 namespace ustl {
 
@@ -12,23 +16,16 @@ namespace ustl {
 /// monotonic clock without stopping the timer.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(SteadyNow()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = SteadyNow(); }
 
-  int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 start_)
-        .count();
-  }
+  int64_t ElapsedMicros() const { return MicrosSince(start_); }
 
-  double ElapsedSeconds() const {
-    return static_cast<double>(ElapsedMicros()) / 1e6;
-  }
+  double ElapsedSeconds() const { return MicrosToSeconds(ElapsedMicros()); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  SteadyClock::time_point start_;
 };
 
 }  // namespace ustl

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ustl {
 
 ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
                                   const FrameworkOptions& options) {
   ColumnRunResult result;
+  ScopedSpan candidates_span(options.trace, options.trace_parent,
+                             "candidates", options.column_name);
   ReplacementStore store(*column, options.candidates);
+  candidates_span.AddAttr("pairs", static_cast<int64_t>(store.num_pairs()));
+  candidates_span.End();
 
   // The engine groups a snapshot of Phi; store indices are stable, so the
   // group members map back even after edits (stale occurrences are checked
@@ -16,6 +22,8 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
   if (!grouping_options.cancel.cancellable()) {
     grouping_options.cancel = options.cancel;
   }
+  grouping_options.trace = options.trace;
+  grouping_options.trace_parent = options.trace_parent;
   GroupingEngine engine(store.pairs(), grouping_options);
 
   while (result.groups_presented < options.budget_per_column) {
@@ -49,6 +57,8 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
     context.presented = result.groups_presented;
     context.cancel = options.cancel;
     context.request_id = options.request_id;
+    context.trace = options.trace;
+    context.trace_parent = options.trace_parent;
     Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
 
     GroupTrace trace;
@@ -63,12 +73,15 @@ ColumnRunResult StandardizeColumn(Column* column, VerificationOracle* oracle,
 
     if (verdict.approved) {
       ++result.groups_approved;
+      ScopedSpan apply_span(options.trace, options.trace_parent, "apply",
+                            group->program);
       size_t edits = 0;
       for (size_t pair_index : group->member_pair_indices) {
         edits += verdict.direction == ReplaceDirection::kLhsToRhs
                      ? store.Apply(pair_index)
                      : store.ApplyReverse(pair_index);
       }
+      apply_span.AddAttr("edits", static_cast<int64_t>(edits));
       trace.edits = edits;
       result.edits += edits;
     }
@@ -114,6 +127,8 @@ ColumnRunResult StandardizeColumnSingle(Column* column,
     context.presented = result.groups_presented;
     context.cancel = options.cancel;
     context.request_id = options.request_id;
+    context.trace = options.trace;
+    context.trace_parent = options.trace_parent;
     Verdict verdict = oracle->VerifyWithContext(group_pairs, context);
     GroupTrace trace;
     trace.size = 1;

@@ -81,6 +81,14 @@ struct FrameworkOptions {
   /// (0 = none). Travels in the QuestionContext so per-request retry and
   /// breaker events can name their request.
   uint64_t request_id = 0;
+  /// Per-request trace (obs/trace.h; null = untraced). StandardizeColumn
+  /// opens candidates/apply spans under `trace_parent` (the serving
+  /// layer's column span), forwards the context into the grouping options
+  /// (graph_build, search_wave spans) and into every QuestionContext
+  /// (oracle batch/call attribution). Observability only: nothing in the
+  /// run reads it, so traced and untraced runs are byte-identical.
+  TraceContext* trace = nullptr;
+  uint64_t trace_parent = 0;
 };
 
 /// One presented group, for reports and the examples.

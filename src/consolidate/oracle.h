@@ -26,6 +26,8 @@
 
 namespace ustl {
 
+class TraceContext;  // obs/trace.h
+
 /// The direction the expert chooses for an approved group.
 enum class ReplaceDirection { kLhsToRhs, kRhsToLhs };
 
@@ -54,6 +56,13 @@ struct QuestionContext {
   /// Serving-layer request id (0 = none): lets decorators attribute
   /// retry/breaker observability events to the asking request.
   uint64_t request_id = 0;
+  /// Per-request trace (obs/trace.h; null = untraced). Observability
+  /// only: brokers/decorators open oracle_call spans and retry events
+  /// against it under `trace_parent` (the asking column span). Never
+  /// part of the question content — verdicts stay pure functions of the
+  /// pair list, so traced and untraced runs are byte-identical.
+  TraceContext* trace = nullptr;
+  uint64_t trace_parent = 0;
 };
 
 /// Interface the framework consults once per presented group. Callers

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "dsl/parser.h"
 #include "dsl/program.h"
+#include "obs/trace.h"
 #include "text/structure.h"
 
 namespace ustl {
@@ -243,6 +244,12 @@ GroupingEngine::GroupingEngine(std::vector<StringPair> pairs,
 
 void GroupingEngine::Preprocess(SubGroup* sub) {
   if (sub->engine != nullptr) return;
+  // graph_build covers scorer + graph/index construction for this
+  // structure group; spans from concurrent RefineBatch workers interleave
+  // safely (TraceContext is thread-safe, spans close independently).
+  ScopedSpan build_span(options_.trace, options_.trace_parent, "graph_build",
+                        sub->structure);
+  build_span.AddAttr("pairs", static_cast<int64_t>(sub->pair_indices.size()));
   sub->interner = std::make_unique<LabelInterner>();
   GraphBuilderOptions graph_options = options_.graph;
   if (options_.use_term_scorer && options_.structure_refinement) {
@@ -268,6 +275,8 @@ void GroupingEngine::Preprocess(SubGroup* sub) {
   inc_options.reuse_search_results = options_.reuse_search_results;
   inc_options.adaptive_wave_sizing = options_.adaptive_wave_sizing;
   inc_options.cancel = options_.cancel;
+  inc_options.trace = options_.trace;
+  inc_options.trace_parent = options_.trace_parent;
   if (search_context_.valid()) {
     // Scope the shared context hash to this structure group; the engine
     // double-checks exact-mode eligibility itself.

@@ -22,6 +22,8 @@
 
 namespace ustl {
 
+class TraceContext;  // obs/trace.h
+
 /// Configuration shared by all grouping drivers.
 struct GroupingOptions {
   /// Graph construction knobs (affix on/off for Figure 10, length caps...).
@@ -100,6 +102,12 @@ struct GroupingOptions {
   /// structure-group engine's scan loops and checked between refinement
   /// rounds; inert by default. See IncrementalOptions::cancel.
   CancelToken cancel;
+  /// Per-request trace (obs/trace.h; null = untraced): each structure
+  /// group's preprocessing opens a graph_build span under `trace_parent`
+  /// and forwards the context into its incremental engine (search_wave
+  /// spans). Observability only — never read by any decision.
+  TraceContext* trace = nullptr;
+  uint64_t trace_parent = 0;
 };
 
 /// Statistics of an upfront grouping run, for Figure 9.

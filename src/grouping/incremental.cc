@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace ustl {
 namespace {
@@ -378,6 +379,14 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
       ++wave_end;
     }
 
+    // One trace span per wave (inert on a null context). Width/search
+    // counts are recorded, never read — wave composition stays a pure
+    // function of the bounds and the cache.
+    ScopedSpan wave_span(options_.trace, options_.trace_parent,
+                         "search_wave");
+    wave_span.AddAttr("slots", static_cast<int64_t>(slots.size()));
+    wave_span.AddAttr("searches", static_cast<int64_t>(searches_needed));
+
     // Resolve the cache misses. Every search uses the wave-start
     // threshold and (concurrently) a private snapshot of the wave-start
     // Glo state; both choices leave the per-graph outcome unchanged (see
@@ -402,6 +411,7 @@ void IncrementalEngine::WaveScan(const std::vector<GraphId>& order,
         break;
       }
     }
+    wave_span.AddAttr("applied", static_cast<int64_t>(applied));
     if (applied < slots.size()) {
       // Everything past the serial stop point was speculative; none of
       // its bound updates land, but found results still warm the cache

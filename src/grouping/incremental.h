@@ -61,6 +61,8 @@
 
 namespace ustl {
 
+class TraceContext;  // obs/trace.h
+
 struct IncrementalOptions {
   int max_path_len = 6;
   /// Safety valve (Section 8.2 suggests bounding the search when grouping
@@ -114,6 +116,13 @@ struct IncrementalOptions {
   /// engine is abandoned by its request; nothing partial is published to
   /// the shared cache (only complete per-graph results ever are).
   CancelToken cancel;
+  /// Per-request trace (obs/trace.h; null = untraced): the wave scan
+  /// opens one search_wave span per wave under `trace_parent` carrying
+  /// the wave's width/hit counters. Statistics only — wave sizing,
+  /// replay and reuse never read the trace, so output is byte-identical
+  /// traced or not.
+  TraceContext* trace = nullptr;
+  uint64_t trace_parent = 0;
 };
 
 struct IncrementalStats {

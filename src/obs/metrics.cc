@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ustl {
+
+namespace {
+
+// Round-robin shard assignment: each new thread takes the next slot.
+// Hashing std::this_thread::get_id would work too, but round-robin
+// guarantees the first kMetricShards threads never collide, and the
+// service's worker pool is created once and lives for the process.
+std::atomic<size_t> g_next_shard{0};
+
+size_t AssignShard() {
+  return g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+}
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t MetricShardIndex() {
+  thread_local size_t shard = AssignShard();
+  return shard;
+}
+
+Histogram::Histogram(std::vector<int64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  const size_t buckets = upper_bounds_.size() + 1;  // + the +Inf bucket
+  for (Shard& shard : shards_) {
+    shard.buckets.reset(new std::atomic<uint64_t>[buckets]);
+    for (size_t i = 0; i < buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t bucket = upper_bounds_.size();  // +Inf unless a bound catches it
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = shards_[MetricShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Aggregate() const {
+  Snapshot snap;
+  snap.bucket_counts.assign(upper_bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      snap.bucket_counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.count += shard.count.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+const std::vector<int64_t>& DefaultLatencyBucketsUs() {
+  static const std::vector<int64_t> kBuckets = {
+      100,      1000,      10000,      100000,
+      1000000,  10000000,  100000000};  // 100us .. 100s, decade steps
+  return kBuckets;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              Kind kind) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  Entry* entry = entries_[it->second].get();
+  if (entry->kind != kind) {
+    std::fprintf(stderr,
+                 "MetricsRegistry: metric '%s' re-registered as a different "
+                 "kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return entry;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name, Kind::kCounter)) return existing->counter.get();
+  auto entry = std::unique_ptr<Entry>(new Entry());
+  entry->kind = Kind::kCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->counter.reset(new Counter());
+  Counter* handle = entry->counter.get();
+  index_[name] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name, Kind::kGauge)) return existing->gauge.get();
+  auto entry = std::unique_ptr<Entry>(new Entry());
+  entry->kind = Kind::kGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->gauge.reset(new Gauge());
+  Gauge* handle = entry->gauge.get();
+  index_[name] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<int64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = Find(name, Kind::kHistogram)) {
+    return existing->histogram.get();
+  }
+  auto entry = std::unique_ptr<Entry>(new Entry());
+  entry->kind = Kind::kHistogram;
+  entry->name = name;
+  entry->help = help;
+  entry->histogram.reset(new Histogram(std::move(upper_bounds)));
+  Histogram* handle = entry->histogram.get();
+  index_[name] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return handle;
+}
+
+void MetricsRegistry::AddCollector(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::RunCollectors() const {
+  // Collectors only write gauges (atomics), so running them under the
+  // registry mutex serializes concurrent scrapes without blocking any
+  // metric update.
+  for (const auto& collector : collectors_) collector();
+}
+
+std::string MetricsRegistry::WriteText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RunCollectors();
+  std::string out;
+  char buf[64];
+  for (const auto& entry : entries_) {
+    out += "# HELP " + entry->name + " " + entry->help + "\n";
+    switch (entry->kind) {
+      case Kind::kCounter: {
+        out += "# TYPE " + entry->name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(entry->counter->Value()));
+        out += entry->name + " " + buf + "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        out += "# TYPE " + entry->name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(entry->gauge->Value()));
+        out += entry->name + " " + buf + "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        out += "# TYPE " + entry->name + " histogram\n";
+        const Histogram& h = *entry->histogram;
+        const Histogram::Snapshot snap = h.Aggregate();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          cumulative += snap.bucket_counts[i];
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(h.upper_bounds()[i]));
+          out += entry->name + "_bucket{le=\"" + buf + "\"} ";
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(cumulative));
+          out += buf;
+          out += "\n";
+        }
+        cumulative += snap.bucket_counts.back();
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(cumulative));
+        out += entry->name + "_bucket{le=\"+Inf\"} " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(snap.sum));
+        out += entry->name + "_sum " + buf + "\n";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(snap.count));
+        out += entry->name + "_count " + buf + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::WriteJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RunCollectors();
+  std::string out = "{\"metrics\": [";
+  char buf[64];
+  bool first = true;
+  for (const auto& entry : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, entry->name);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(entry->counter->Value()));
+        out += ", \"type\": \"counter\", \"value\": ";
+        out += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(entry->gauge->Value()));
+        out += ", \"type\": \"gauge\", \"value\": ";
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        const Histogram::Snapshot snap = h.Aggregate();
+        out += ", \"type\": \"histogram\", \"buckets\": [";
+        for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+          if (i) out += ", ";
+          out += "{\"le\": ";
+          if (i < h.upper_bounds().size()) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(h.upper_bounds()[i]));
+            out += buf;
+          } else {
+            out += "\"+Inf\"";
+          }
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(snap.bucket_counts[i]));
+          out += ", \"count\": ";
+          out += buf;
+          out += "}";
+        }
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(snap.sum));
+        out += "], \"sum\": ";
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(snap.count));
+        out += ", \"count\": ";
+        out += buf;
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ustl

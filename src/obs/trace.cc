@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace ustl {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendInt(std::string* out, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string FormatTraceSpanJson(const TraceSpan& span) {
+  std::string out = "{\"request\": ";
+  AppendJsonString(&out, span.request_id);
+  out += ", \"id\": ";
+  AppendInt(&out, static_cast<long long>(span.id));
+  out += ", \"parent\": ";
+  AppendInt(&out, static_cast<long long>(span.parent));
+  out += ", \"name\": ";
+  AppendJsonString(&out, span.name);
+  if (!span.detail.empty()) {
+    out += ", \"detail\": ";
+    AppendJsonString(&out, span.detail);
+  }
+  out += ", \"start_us\": ";
+  AppendInt(&out, span.start_us);
+  out += ", \"end_us\": ";
+  AppendInt(&out, span.end_us);
+  if (!span.attrs.empty()) {
+    out += ", \"attrs\": {";
+    bool first = true;
+    for (const auto& attr : span.attrs) {
+      if (!first) out += ", ";
+      first = false;
+      AppendJsonString(&out, attr.first);
+      out += ": ";
+      AppendInt(&out, attr.second);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void JsonLinesTraceSink::Emit(const TraceSpan& span) {
+  const std::string line = FormatTraceSpanJson(span);
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+}
+
+void CountingTraceSink::Emit(const TraceSpan& span) {
+  // Format-and-discard: the overhead bench should price the full
+  // emission path (clock reads, id allocation, JSON formatting), not
+  // just the pointer tests, so the sink does everything but the write.
+  const std::string line = FormatTraceSpanJson(span);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<int64_t>(line.size()),
+                   std::memory_order_relaxed);
+}
+
+void TraceContext::Event(uint64_t parent, const char* name,
+                         const std::string& detail,
+                         std::vector<std::pair<std::string, int64_t>> attrs) {
+  if (sink_ == nullptr) return;
+  TraceSpan span;
+  span.request_id = request_id_;
+  span.id = NextSpanId();
+  span.parent = parent;
+  span.name = name;
+  span.detail = detail;
+  span.start_us = NowMicros();
+  span.end_us = span.start_us;
+  span.attrs = std::move(attrs);
+  sink_->Emit(span);
+}
+
+ScopedSpan::ScopedSpan(TraceContext* ctx, uint64_t parent, const char* name,
+                       std::string detail) {
+  if (ctx == nullptr || ctx->sink() == nullptr) return;
+  ctx_ = ctx;
+  span_.request_id = ctx->request_id();
+  span_.id = ctx->NextSpanId();
+  span_.parent = parent;
+  span_.name = name;
+  span_.detail = std::move(detail);
+  span_.start_us = ctx->NowMicros();
+}
+
+void ScopedSpan::End() {
+  if (ctx_ == nullptr) return;
+  span_.end_us = ctx_->NowMicros();
+  ctx_->sink()->Emit(span_);
+  ctx_ = nullptr;
+}
+
+}  // namespace ustl

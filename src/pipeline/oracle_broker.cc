@@ -5,10 +5,21 @@
 #include <tuple>
 
 #include "dsl/parser.h"
+#include "obs/trace.h"
 
 namespace ustl {
 
 namespace {
+
+// Cache-hit attribution on the asking request's trace (obs/trace.h).
+// Pure observability: emitted after the verdict is already decided, so
+// traced and untraced runs ask the backend the same questions.
+void TraceCacheHit(const QuestionContext& context) {
+  if (context.trace == nullptr) return;
+  context.trace->Event(
+      context.trace_parent, "oracle_cache_hit", std::string(context.column),
+      {{"presented", static_cast<int64_t>(context.presented)}});
+}
 
 // Content key for the verdict cache: pivot program and the full pair
 // list, each field length-prefixed so values with arbitrary bytes (quoted
@@ -59,6 +70,7 @@ Verdict OracleBroker::VerifyWithContext(
   if (options_.cache_verdicts) {
     if (const Verdict* verdict = CacheFind(request.key)) {
       ++stats_.cache_hits;
+      TraceCacheHit(context);
       RecordVerdict(context, group_pairs, *verdict);
       return *verdict;
     }
@@ -101,6 +113,12 @@ Verdict OracleBroker::VerifyWithContext(
       batch.swap(queue_);
       ++stats_.batches;
       stats_.max_batch = std::max(stats_.max_batch, batch.size());
+      // One span per combined batch, attributed to the combiner's own
+      // request (the batch may serve questions of several requests; each
+      // backend call below gets its own span on the asking request).
+      ScopedSpan batch_span(request.context.trace, request.context.trace_parent,
+                            "oracle_batch");
+      batch_span.AddAttr("size", static_cast<int64_t>(batch.size()));
       for (size_t next = 0; next < batch.size(); ++next) {
         Request* pending = batch[next];
         bool served = false;
@@ -109,6 +127,7 @@ Verdict OracleBroker::VerifyWithContext(
           if (const Verdict* verdict = CacheFind(pending->key)) {
             pending->verdict = *verdict;
             ++stats_.cache_hits;
+            TraceCacheHit(pending->context);
             served = true;
           }
         }
@@ -127,6 +146,15 @@ Verdict OracleBroker::VerifyWithContext(
           // Drop the lock while the backend thinks so that other columns
           // can keep enqueueing (that is what forms the next batch). The
           // backend itself is still only ever called from the combiner.
+          // The call span lands on the ASKING request's trace even though
+          // it runs on the combiner's thread — the asking thread is
+          // blocked inside its still-open column span, so containment
+          // holds; TraceContext is thread-safe by design.
+          ScopedSpan call_span(pending->context.trace,
+                               pending->context.trace_parent, "oracle_call",
+                               std::string(pending->context.column));
+          call_span.AddAttr(
+              "presented", static_cast<int64_t>(pending->context.presented));
           lock.unlock();
           Verdict verdict;
           std::exception_ptr backend_error;
@@ -137,6 +165,7 @@ Verdict OracleBroker::VerifyWithContext(
             backend_error = std::current_exception();
           }
           lock.lock();
+          call_span.End();
           if (backend_error != nullptr) {
             // A backend failure (retries exhausted, breaker open,
             // cancellation thrown mid-call) fails only the asking

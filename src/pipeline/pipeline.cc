@@ -34,7 +34,9 @@ PipelineRun ColumnScheduler::Run(Table* table,
   service_options.broker = options_.broker;
   service_options.share_search_cache = options_.warm_search_cache;
   ConsolidationService service(backend, service_options);
-  const uint64_t handle = service.Submit(table);
+  RequestOptions request_options;
+  request_options.trace_sink = options_.trace_sink;
+  const uint64_t handle = service.Submit(table, std::move(request_options));
   RequestResult result = service.Wait(handle);
 
   PipelineRun run;

@@ -29,6 +29,8 @@
 
 namespace ustl {
 
+class TraceSink;  // obs/trace.h
+
 struct PipelineOptions {
   /// Per-column framework configuration. `framework.column_name` is
   /// overwritten per job with the table's column name;
@@ -53,6 +55,11 @@ struct PipelineOptions {
   /// earlier column's skips its round-one searches. Output is
   /// byte-identical on or off; off only repeats searches.
   bool warm_search_cache = true;
+  /// Per-request trace sink (obs/trace.h; borrowed, null = untraced),
+  /// forwarded to the underlying service request — the one-shot facade's
+  /// run appears as a single traced request. Observability only; output
+  /// is byte-identical traced or not.
+  TraceSink* trace_sink = nullptr;
 };
 
 /// What a pipeline run produced, superset of GoldenRecordRun.

@@ -4,8 +4,23 @@
 #include <thread>
 
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace ustl {
+
+namespace {
+
+// Retry/backoff/breaker attribution on the asking request's trace.
+// Observability only: emitted after the decision is already made, so the
+// retry schedule and breaker state machine are identical traced or not.
+void TraceRetryEvent(const QuestionContext& context, const char* name,
+                     std::vector<std::pair<std::string, int64_t>> attrs) {
+  if (context.trace == nullptr) return;
+  context.trace->Event(context.trace_parent, name, std::string(),
+                       std::move(attrs));
+}
+
+}  // namespace
 
 Verdict RetryingOracle::VerifyWithContext(
     const std::vector<StringPair>& group_pairs,
@@ -64,6 +79,8 @@ Verdict RetryingOracle::VerifyWithContext(
         delay += jitter.Uniform(0, options_.backoff_base_ms);
         if (delay > options_.backoff_cap_ms) delay = options_.backoff_cap_ms;
       }
+      TraceRetryEvent(context, "oracle_backoff",
+                      {{"attempt", attempt}, {"delay_ms", delay}});
       if (delay > 0) {
         if (options_.sleep_ms) {
           options_.sleep_ms(static_cast<int>(delay));
@@ -87,8 +104,11 @@ Verdict RetryingOracle::VerifyWithContext(
         }
         replay_[hash] = verdict;
       }
-      if (closed_now && options_.on_breaker) {
-        options_.on_breaker(context.request_id, /*open=*/false);
+      if (closed_now) {
+        TraceRetryEvent(context, "breaker_state", {{"open", 0}});
+        if (options_.on_breaker) {
+          options_.on_breaker(context.request_id, /*open=*/false);
+        }
       }
       return verdict;
     } catch (const CancelledError&) {
@@ -100,6 +120,7 @@ Verdict RetryingOracle::VerifyWithContext(
           std::lock_guard<std::mutex> lock(mutex_);
           ++stats_.retries;
         }
+        TraceRetryEvent(context, "oracle_retry", {{"attempt", attempt}});
         if (options_.on_retry) options_.on_retry(context.request_id, attempt);
       }
     }
@@ -124,8 +145,11 @@ Verdict RetryingOracle::VerifyWithContext(
       opened_now = true;
     }
   }
-  if (opened_now && options_.on_breaker) {
-    options_.on_breaker(context.request_id, /*open=*/true);
+  if (opened_now) {
+    TraceRetryEvent(context, "breaker_state", {{"open", 1}});
+    if (options_.on_breaker) {
+      options_.on_breaker(context.request_id, /*open=*/true);
+    }
   }
   std::rethrow_exception(last_error);
 }

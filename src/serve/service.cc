@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/timer.h"
 #include "consolidate/truth_discovery.h"
 
 namespace ustl {
@@ -69,6 +70,137 @@ ConsolidationService::ConsolidationService(VerificationOracle* backend,
   USTL_CHECK(options_.max_pending_requests > 0);
   paused_ = options_.start_paused;
   boost_tokens_ = budget_ % workers_;
+  RegisterMetrics();
+}
+
+void ConsolidationService::RegisterMetrics() {
+  // Registry-native lifecycle counters: these ARE the service's stats
+  // storage — stats(), the text/JSON scrapes and the CLI summaries all
+  // read the same instruments.
+  requests_admitted_ = metrics_.RegisterCounter(
+      "ustl_requests_admitted_total", "Requests admitted by Submit");
+  requests_completed_ = metrics_.RegisterCounter(
+      "ustl_requests_completed_total", "Requests finalized (any status)");
+  columns_dispatched_ = metrics_.RegisterCounter(
+      "ustl_columns_dispatched_total", "Column jobs handed to workers");
+  requests_cancelled_ = metrics_.RegisterCounter(
+      "ustl_requests_cancelled_total", "Requests finalized with kCancelled");
+  requests_deadline_exceeded_ = metrics_.RegisterCounter(
+      "ustl_requests_deadline_exceeded_total",
+      "Requests finalized with kDeadlineExceeded");
+  aged_grants_ = metrics_.RegisterCounter(
+      "ustl_aged_grants_total", "Fairness-aging out-of-cycle grants");
+  handles_reaped_ = metrics_.RegisterCounter(
+      "ustl_handles_reaped_total", "Unwaited results reclaimed by the GC");
+  grouping_searches_ = metrics_.RegisterCounter(
+      "ustl_grouping_searches_total", "Pivot searches run by column jobs");
+  grouping_expansions_ = metrics_.RegisterCounter(
+      "ustl_grouping_expansions_total", "DFS expansions spent in searches");
+  grouping_cache_hits_ = metrics_.RegisterCounter(
+      "ustl_grouping_cache_hits_total",
+      "Searches resolved from cross-round result reuse");
+  grouping_warm_hits_ = metrics_.RegisterCounter(
+      "ustl_grouping_warm_hits_total",
+      "Cache hits served from cross-engine warm starts");
+  grouping_speculative_searches_ = metrics_.RegisterCounter(
+      "ustl_grouping_speculative_searches_total",
+      "Wave searches past the serial stop point");
+  index_blocks_skipped_ = metrics_.RegisterCounter(
+      "ustl_index_blocks_skipped_total",
+      "Block-codec posting blocks skipped via metadata");
+  index_blocks_decoded_ = metrics_.RegisterCounter(
+      "ustl_index_blocks_decoded_total", "Block-codec posting blocks decoded");
+  index_joins_pruned_ = metrics_.RegisterCounter(
+      "ustl_index_joins_pruned_total",
+      "Whole posting joins pruned by block metadata");
+  admission_wait_us_ = metrics_.RegisterHistogram(
+      "ustl_admission_wait_us", "Submit-to-admission wait per request",
+      DefaultLatencyBucketsUs());
+  request_duration_us_ = metrics_.RegisterHistogram(
+      "ustl_request_duration_us", "Submit-to-finalize latency per request",
+      DefaultLatencyBucketsUs());
+  column_duration_us_ = metrics_.RegisterHistogram(
+      "ustl_column_duration_us", "StandardizeColumn latency per column job",
+      DefaultLatencyBucketsUs());
+
+  // The broker / search-cache / retry layers keep their pinned stats
+  // structs; snapshot-time collectors copy them into gauges so one
+  // scrape surfaces everything. Collectors only read and Set — metrics
+  // stay write-only from the serving side (zero perturbation).
+  Gauge* oracle_questions =
+      metrics_.RegisterGauge("ustl_oracle_questions", "Questions asked");
+  Gauge* oracle_backend_calls = metrics_.RegisterGauge(
+      "ustl_oracle_backend_calls", "Questions that reached the backend");
+  Gauge* oracle_cache_hits = metrics_.RegisterGauge(
+      "ustl_oracle_cache_hits", "Questions served from the verdict cache");
+  Gauge* oracle_batches =
+      metrics_.RegisterGauge("ustl_oracle_batches", "Combined batches drained");
+  Gauge* oracle_max_batch =
+      metrics_.RegisterGauge("ustl_oracle_max_batch", "Largest batch drained");
+  Gauge* oracle_evictions = metrics_.RegisterGauge(
+      "ustl_oracle_evictions", "Verdicts dropped by the LRU bound");
+  Gauge* search_lookups = metrics_.RegisterGauge(
+      "ustl_search_cache_lookups", "Cross-engine warm-start lookups");
+  Gauge* search_warm_starts = metrics_.RegisterGauge(
+      "ustl_search_cache_warm_starts", "Lookups that found their key");
+  Gauge* search_entries_served = metrics_.RegisterGauge(
+      "ustl_search_cache_entries_served", "Pivots copied out by warm starts");
+  Gauge* search_publishes = metrics_.RegisterGauge(
+      "ustl_search_cache_publishes", "Engine result sets published");
+  Gauge* search_keys =
+      metrics_.RegisterGauge("ustl_search_cache_keys", "Distinct keys held");
+  Gauge* search_entries =
+      metrics_.RegisterGauge("ustl_search_cache_entries", "Pivots held");
+  Gauge* search_evictions = metrics_.RegisterGauge(
+      "ustl_search_cache_evictions", "Keys dropped by the LRU bound");
+  Gauge* retry_retries =
+      metrics_.RegisterGauge("ustl_retry_retries", "Re-asks after a failure");
+  Gauge* retry_recovered = metrics_.RegisterGauge(
+      "ustl_retry_recovered", "Verdicts that needed >= 1 retry");
+  Gauge* retry_exhausted = metrics_.RegisterGauge(
+      "ustl_retry_exhausted", "Questions that failed every attempt");
+  Gauge* retry_breaker_opens = metrics_.RegisterGauge(
+      "ustl_retry_breaker_opens", "Closed -> open breaker transitions");
+  Gauge* retry_short_circuits = metrics_.RegisterGauge(
+      "ustl_retry_short_circuits", "Calls answered while the breaker was open");
+  Gauge* retry_replayed = metrics_.RegisterGauge(
+      "ustl_retry_replayed_verdicts", "Short circuits served from replay");
+  Gauge* retry_breaker_open = metrics_.RegisterGauge(
+      "ustl_retry_breaker_open", "1 while the breaker is open or probing");
+  Gauge* active_requests = metrics_.RegisterGauge(
+      "ustl_active_requests", "Admitted, not yet finalized requests");
+  Gauge* max_concurrent = metrics_.RegisterGauge(
+      "ustl_max_concurrent_requests", "High-water mark of active requests");
+  metrics_.AddCollector([=] {
+    const OracleBrokerStats oracle = broker_.stats();
+    oracle_questions->Set(static_cast<int64_t>(oracle.questions));
+    oracle_backend_calls->Set(static_cast<int64_t>(oracle.backend_calls));
+    oracle_cache_hits->Set(static_cast<int64_t>(oracle.cache_hits));
+    oracle_batches->Set(static_cast<int64_t>(oracle.batches));
+    oracle_max_batch->Set(static_cast<int64_t>(oracle.max_batch));
+    oracle_evictions->Set(static_cast<int64_t>(oracle.evictions));
+    const SearchCacheStats search = search_cache_.stats();
+    search_lookups->Set(static_cast<int64_t>(search.lookups));
+    search_warm_starts->Set(static_cast<int64_t>(search.warm_starts));
+    search_entries_served->Set(static_cast<int64_t>(search.entries_served));
+    search_publishes->Set(static_cast<int64_t>(search.publishes));
+    search_keys->Set(static_cast<int64_t>(search.keys));
+    search_entries->Set(static_cast<int64_t>(search.entries));
+    search_evictions->Set(static_cast<int64_t>(search.evictions));
+    if (retrying_ != nullptr) {
+      const RetryingOracleStats retry = retrying_->stats();
+      retry_retries->Set(static_cast<int64_t>(retry.retries));
+      retry_recovered->Set(static_cast<int64_t>(retry.recovered));
+      retry_exhausted->Set(static_cast<int64_t>(retry.exhausted));
+      retry_breaker_opens->Set(static_cast<int64_t>(retry.breaker_opens));
+      retry_short_circuits->Set(static_cast<int64_t>(retry.short_circuits));
+      retry_replayed->Set(static_cast<int64_t>(retry.replayed_verdicts));
+      retry_breaker_open->Set(retrying_->breaker_open() ? 1 : 0);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_requests->Set(static_cast<int64_t>(active_.size()));
+    max_concurrent->Set(static_cast<int64_t>(max_concurrent_requests_));
+  });
 }
 
 ConsolidationService::~ConsolidationService() {
@@ -100,6 +232,10 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
     request->columns[col] = table->ExtractColumn(col);
   }
 
+  // Time origin of the admission-wait histogram and (when traced) the
+  // request root span: right before the backlog wait, so both measure
+  // the client-facing queueing latency.
+  request->submit_time = SteadyNow();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // admitting_ reserves this request's backlog slot across the unlock
@@ -116,7 +252,27 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
                          : std::move(options.label);
     request->last_grant_seq = grant_seq_;  // aging clock starts at admission
     requests_.emplace(request->id, std::move(owned));
-    ++requests_admitted_;
+  }
+  requests_admitted_->Increment();
+  admission_wait_us_->Observe(MicrosSince(request->submit_time));
+  if (options.trace_sink != nullptr) {
+    // The trace request id suffixes the handle so it stays unique even
+    // when labels repeat (warm rounds resubmit the same table name).
+    request->trace = std::make_unique<TraceContext>(
+        options.trace_sink,
+        request->label + "#" + std::to_string(request->id), epoch_);
+    // Reserve span id 1 for the request root: every other span nests
+    // under it, and the root itself is emitted at finalize (interval
+    // [submit_time, finalize]) — consumers buffer and re-order on id.
+    request->root_span = request->trace->NextSpanId();
+    TraceSpan admission;
+    admission.request_id = request->trace->request_id();
+    admission.id = request->trace->NextSpanId();
+    admission.parent = request->root_span;
+    admission.name = "admission_wait";
+    admission.start_us = DurationMicros(epoch_, request->submit_time);
+    admission.end_us = request->trace->NowMicros();
+    options.trace_sink->Emit(admission);
   }
 
   // Emitted before the request enters active_, so its event stream is
@@ -188,15 +344,17 @@ ServiceStats ConsolidationService::stats() const {
   out.oracle = broker_.stats();
   out.search_cache = search_cache_.stats();
   if (retrying_ != nullptr) out.retry = retrying_->stats();
+  // The lifecycle counters live in the registry now; ServiceStats is a
+  // read-through view of the same instruments the scrape exports.
+  out.requests_admitted = requests_admitted_->Value();
+  out.requests_completed = requests_completed_->Value();
+  out.columns_dispatched = columns_dispatched_->Value();
+  out.requests_cancelled = requests_cancelled_->Value();
+  out.requests_deadline_exceeded = requests_deadline_exceeded_->Value();
+  out.aged_grants = aged_grants_->Value();
+  out.handles_reaped = handles_reaped_->Value();
   std::lock_guard<std::mutex> lock(mutex_);
-  out.requests_admitted = requests_admitted_;
-  out.requests_completed = requests_completed_;
-  out.columns_dispatched = columns_dispatched_;
   out.max_concurrent_requests = max_concurrent_requests_;
-  out.requests_cancelled = requests_cancelled_;
-  out.requests_deadline_exceeded = requests_deadline_exceeded_;
-  out.aged_grants = aged_grants_;
-  out.handles_reaped = handles_reaped_;
   return out;
 }
 
@@ -240,7 +398,7 @@ bool ConsolidationService::PickJob(Request** request, size_t* column) {
       }
     }
     if (starved != nullptr) {
-      ++aged_grants_;
+      aged_grants_->Increment();
       starved->granted_cycle = cycle_;
       starved->last_grant_seq = ++grant_seq_;
       *request = starved;
@@ -290,7 +448,7 @@ void ConsolidationService::RunJobs() {
     Request* request = nullptr;
     size_t column = 0;
     if (paused_ || !PickJob(&request, &column)) break;
-    ++columns_dispatched_;
+    columns_dispatched_->Increment();
     // Take a budget-remainder boost token when one is free (returned
     // below), so the whole --threads budget reaches the engines even
     // when it does not divide evenly across the workers.
@@ -301,6 +459,21 @@ void ConsolidationService::RunJobs() {
     if (boosted) {
       std::lock_guard<std::mutex> boost_lock(mutex_);
       ++boost_tokens_;
+    }
+
+    // Fold the column's grouping work into the registry counters (the
+    // engines themselves stay registry-free). Zeros for a cancelled
+    // column whose result was never written.
+    {
+      const IncrementalStats& grouping = request->results[column].grouping;
+      grouping_searches_->Increment(grouping.searches);
+      grouping_expansions_->Increment(grouping.expansions);
+      grouping_cache_hits_->Increment(grouping.cache_hits);
+      grouping_warm_hits_->Increment(grouping.warm_hits);
+      grouping_speculative_searches_->Increment(grouping.speculative_searches);
+      index_blocks_skipped_->Increment(grouping.blocks_skipped);
+      index_blocks_decoded_->Increment(grouping.blocks_decoded);
+      index_joins_pruned_->Increment(grouping.joins_pruned);
     }
 
     // Emit before publishing completion: as long as this column is not
@@ -355,9 +528,18 @@ void ConsolidationService::ExecuteColumn(Request* request, size_t column,
         callback(presented, state);
       };
     }
+    // Column span under the request root; everything the framework and
+    // the layers below it open nests under this span's id (inert — id
+    // 0 — for an untraced request).
+    ScopedSpan column_span(request->trace.get(), request->root_span, "column",
+                           framework.column_name);
+    framework.trace = request->trace.get();
+    framework.trace_parent = column_span.id();
     ServeEventOracle oracle(this, request, column);
+    const Timer column_timer;
     request->results[column] =
         StandardizeColumn(&request->columns[column], &oracle, framework);
+    column_duration_us_->Observe(column_timer.ElapsedMicros());
   } catch (const CancelledError&) {
     // The expected unwind of a cancelled / past-deadline request: not an
     // error. The terminal status lives in request->cancel; the finalize
@@ -381,11 +563,15 @@ void ConsolidationService::FinalizeRequest(Request* request) {
     // The only mutation of the caller's table, in column index order —
     // same commit discipline as the pipeline. A cancelled / expired
     // request skips this: its table stays exactly as submitted.
+    ScopedSpan fuse_span(request->trace.get(), request->root_span, "fuse");
     for (size_t col = 0; col < request->columns.size(); ++col) {
       request->table->StoreColumn(col, request->columns[col]);
     }
     request->result.per_column = std::move(request->results);
     request->result.golden_records = MajorityConsensus(*request->table);
+    fuse_span.AddAttr(
+        "golden_records",
+        static_cast<int64_t>(request->result.golden_records.size()));
   }
   // The working copies are committed (or abandoned on error); drop them
   // now instead of pinning a full table until Wait collects the handle.
@@ -414,13 +600,31 @@ void ConsolidationService::FinalizeRequest(Request* request) {
   // thread may erase the request.
   Emit(*request, std::move(event));
 
+  request_duration_us_->Observe(MicrosSince(request->submit_time));
+  if (request->trace != nullptr) {
+    // The root span, emitted last with its reserved id 1 and the full
+    // [submit, finalize] interval; children were emitted as they closed.
+    TraceSpan root;
+    root.request_id = request->trace->request_id();
+    root.id = request->root_span;
+    root.parent = 0;
+    root.name = "request";
+    root.detail = request->label;
+    root.start_us = DurationMicros(epoch_, request->submit_time);
+    root.end_us = request->trace->NowMicros();
+    root.attrs.emplace_back("status", static_cast<int64_t>(request->status));
+    request->trace->sink()->Emit(root);
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   request->done = true;
   completion_order_.push_back(request->id);
-  ++requests_completed_;
-  if (request->status == RequestStatus::kCancelled) ++requests_cancelled_;
+  requests_completed_->Increment();
+  if (request->status == RequestStatus::kCancelled) {
+    requests_cancelled_->Increment();
+  }
   if (request->status == RequestStatus::kDeadlineExceeded) {
-    ++requests_deadline_exceeded_;
+    requests_deadline_exceeded_->Increment();
   }
   active_.erase(std::find(active_.begin(), active_.end(), request));
   if (!request->waiting) {
@@ -444,15 +648,22 @@ void ConsolidationService::ReapRetained() {
     request->error = nullptr;
     request->status = RequestStatus::kReaped;
     request->reaped = true;
-    ++handles_reaped_;
+    handles_reaped_->Increment();
   }
 }
 
-void ConsolidationService::Emit(const Request& request, ServeEvent event) {
+void ConsolidationService::Emit(Request& request, ServeEvent event) {
   if (!request.on_event) return;
   event.request = request.id;
   event.label = request.label;
   std::lock_guard<std::mutex> lock(event_mutex_);
+  // Sequence numbers are per request and assigned at emission under the
+  // event lock, so the stream a consumer sees is totally ordered even
+  // when the request's column jobs emit concurrently. The timestamp is
+  // service-relative (monotonic, no wall clock). Both are scheduling-
+  // dependent: determinism comparisons exclude them.
+  event.seq = ++request.next_event_seq;
+  event.ts_us = MicrosSince(epoch_);
   request.on_event(event);
 }
 

@@ -45,9 +45,12 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 #include "common/parallel.h"
 #include "consolidate/framework.h"
 #include "grouping/search_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/oracle_broker.h"
 #include "pipeline/retrying_oracle.h"
 
@@ -153,6 +156,15 @@ struct ServeEvent {
   /// kBreakerOpen: kOk when the breaker closed again (a successful
   /// half-open probe), kError when it opened.
   RequestStatus status = RequestStatus::kOk;
+  /// Ordering/timing a consumer can correlate on: `seq` is the 1-based
+  /// monotonic sequence number of this event within its request (assigned
+  /// at emission, so it totals the per-request stream even when column
+  /// jobs emit concurrently) and `ts_us` is microseconds since service
+  /// construction (monotonic clock, no wall time). Both are
+  /// scheduling-dependent — determinism comparisons must exclude them
+  /// (the byte-compare legs diff table output, never event streams).
+  uint64_t seq = 0;
+  int64_t ts_us = 0;
 };
 
 struct RequestOptions {
@@ -178,6 +190,15 @@ struct RequestOptions {
   /// published before the trip, and other in-flight requests are
   /// untouched.
   int64_t deadline_ms = 0;
+  /// Per-request trace sink (obs/trace.h; borrowed, must outlive the
+  /// request). Null (the default) disables tracing at zero cost — no
+  /// clock reads, no span ids. Non-null makes the service carry a
+  /// TraceContext through every layer of this request: spans for the
+  /// request root, admission wait, each column, graph builds, search
+  /// waves, oracle batches/calls and the final fuse, plus cache-hit and
+  /// retry/breaker events. Observability only — table output is
+  /// byte-identical with tracing on or off.
+  TraceSink* trace_sink = nullptr;
 };
 
 /// What one request produced; the table passed to Submit has been
@@ -262,6 +283,14 @@ class ConsolidationService {
   /// accumulated across every request served so far (replay.h).
   std::vector<ApprovedTransformation> ApprovedLog() const;
 
+  /// The service's unified metrics registry (obs/metrics.h): the single
+  /// source the text/JSON scrapes read. Lifecycle counters and latency
+  /// histograms are registry-native; the broker / search-cache / retry
+  /// stats structs surface through snapshot-time collectors. Metrics are
+  /// write-only from the serving layers — nothing in scheduling or
+  /// caching ever reads them back (zero perturbation).
+  MetricsRegistry& metrics() { return metrics_; }
+
   /// Resolved number of concurrently running column jobs.
   int workers() const { return workers_; }
 
@@ -289,6 +318,16 @@ class ConsolidationService {
     CancelState cancel;
     RequestStatus status = RequestStatus::kOk;  // set at finalize
     RequestResult result;
+    /// Submit entry time: start of the root trace span and of the
+    /// admission-wait / request-duration histogram intervals.
+    SteadyClock::time_point submit_time;
+    /// Per-request trace state (null = untraced). The context outlives
+    /// every span opened under it: jobs hold the Request* until their
+    /// column completes, and completion precedes finalize.
+    std::unique_ptr<TraceContext> trace;
+    uint64_t root_span = 0;  // span id every column span nests under
+    /// Next event sequence number; advanced under the event lock.
+    uint64_t next_event_seq = 0;
   };
 
   /// Requires mutex_. Submits worker loops until every slot is busy or no
@@ -304,8 +343,9 @@ class ConsolidationService {
   void ExecuteColumn(Request* request, size_t column, int grouping_threads);
   /// Commits columns, runs truth discovery and marks the request done.
   void FinalizeRequest(Request* request);
-  /// Serialized event delivery.
-  void Emit(const Request& request, ServeEvent event);
+  /// Serialized event delivery; stamps the event's per-request sequence
+  /// number and service-relative timestamp under the event lock.
+  void Emit(Request& request, ServeEvent event);
   /// Emit for a request known only by id (retry decorator callbacks);
   /// silently drops unattributed (id 0) or already-erased requests.
   void EmitForRequestId(uint64_t id, ServeEvent event);
@@ -315,6 +355,9 @@ class ConsolidationService {
   /// options_.retry with the service's kRetried / kBreakerOpen event
   /// emission chained in front of any user callbacks.
   RetryingOracle::Options WireRetryOptions();
+  /// Constructor helper: registers every instrument and the snapshot
+  /// collectors on metrics_.
+  void RegisterMetrics();
 
   friend class ServeEventOracle;
 
@@ -354,14 +397,40 @@ class ConsolidationService {
   int running_jobs_ = 0;
   int boost_tokens_ = 0;  // see per_job_threads_
   bool paused_ = false;
-  size_t requests_admitted_ = 0;
-  size_t requests_completed_ = 0;
-  size_t columns_dispatched_ = 0;
+  /// High-water mark of concurrent requests (mutex_-guarded; exposed as
+  /// a gauge by the registry collector).
   size_t max_concurrent_requests_ = 0;
-  size_t requests_cancelled_ = 0;
-  size_t requests_deadline_exceeded_ = 0;
-  size_t aged_grants_ = 0;
-  size_t handles_reaped_ = 0;
+
+  /// The unified registry and its registry-native instruments: the
+  /// lifecycle counters below ARE the service's stats storage (stats()
+  /// sums their shards), so the scrape, ServiceStats and the CLI all
+  /// read one source of truth. Handles are registered in the
+  /// constructor and stay valid for the service lifetime; increments
+  /// are relaxed atomic adds (no lock, no feedback into scheduling).
+  MetricsRegistry metrics_;
+  /// Service-relative time origin: ServeEvent::ts_us and every trace
+  /// span measure from here (common/clock.h steady clock).
+  SteadyClock::time_point epoch_ = SteadyNow();
+  Counter* requests_admitted_ = nullptr;
+  Counter* requests_completed_ = nullptr;
+  Counter* columns_dispatched_ = nullptr;
+  Counter* requests_cancelled_ = nullptr;
+  Counter* requests_deadline_exceeded_ = nullptr;
+  Counter* aged_grants_ = nullptr;
+  Counter* handles_reaped_ = nullptr;
+  /// Grouping work counters, folded in once per completed column job
+  /// from its ColumnRunResult (the engines stay registry-free).
+  Counter* grouping_searches_ = nullptr;
+  Counter* grouping_expansions_ = nullptr;
+  Counter* grouping_cache_hits_ = nullptr;
+  Counter* grouping_warm_hits_ = nullptr;
+  Counter* grouping_speculative_searches_ = nullptr;
+  Counter* index_blocks_skipped_ = nullptr;
+  Counter* index_blocks_decoded_ = nullptr;
+  Counter* index_joins_pruned_ = nullptr;
+  Histogram* admission_wait_us_ = nullptr;
+  Histogram* request_duration_us_ = nullptr;
+  Histogram* column_duration_us_ = nullptr;
 
   std::mutex event_mutex_;     // serializes on_event callbacks
   std::mutex progress_mutex_;  // serializes framework progress callbacks

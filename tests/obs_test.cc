@@ -1,0 +1,248 @@
+// Tests for src/obs: the metrics registry (sharded counters, gauges,
+// fixed-bucket histograms, registration-ordered exposition) and the
+// per-request tracing primitives (span ids, RAII emission, null-sink
+// inertness, JSON-lines schema). The concurrency tests double as TSan
+// targets: scrapes race with updates by design, and the sanitizer run
+// keeps the relaxed-atomic claims honest.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ustl {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAggregatesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("test_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.Set(41);
+  gauge.Add(2);
+  gauge.Add(-1);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Set(-7);  // signed: queue depths may legitimately go negative
+  EXPECT_EQ(gauge.Value(), -7);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsIncludeUpperBounds) {
+  Histogram histogram({10, 100});
+  // Bounds are inclusive: 10 lands in the first bucket, 101 in +Inf.
+  for (int64_t value : {5, 10, 11, 100, 101}) histogram.Observe(value);
+  Histogram::Snapshot snapshot = histogram.Aggregate();
+  ASSERT_EQ(snapshot.bucket_counts.size(), 3u);  // two bounds + Inf
+  EXPECT_EQ(snapshot.bucket_counts[0], 2u);      // 5, 10
+  EXPECT_EQ(snapshot.bucket_counts[1], 2u);      // 11, 100
+  EXPECT_EQ(snapshot.bucket_counts[2], 1u);      // 101
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_EQ(snapshot.sum, 5 + 10 + 11 + 100 + 101);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter* first = registry.RegisterCounter("dup_total", "help");
+  Counter* second = registry.RegisterCounter("dup_total", "other help");
+  EXPECT_EQ(first, second);  // same instrument, independent subsystems
+  Gauge* gauge = registry.RegisterGauge("depth", "help");
+  EXPECT_EQ(gauge, registry.RegisterGauge("depth", "help"));
+}
+
+TEST(MetricsRegistryTest, TextExpositionIsRegistrationOrderedAndStable) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("zzz_total", "registered first");
+  registry.RegisterGauge("aaa_depth", "registered second");
+  registry.RegisterHistogram("mmm_us", "registered third", {1000});
+  const std::string first = registry.WriteText();
+  const std::string second = registry.WriteText();
+  // Identical state scrapes byte-identically (no hash-order leakage).
+  EXPECT_EQ(first, second);
+  // Registration order wins over lexicographic order.
+  EXPECT_LT(first.find("zzz_total"), first.find("aaa_depth"));
+  EXPECT_LT(first.find("aaa_depth"), first.find("mmm_us"));
+  EXPECT_NE(first.find("# TYPE zzz_total counter"), std::string::npos);
+  EXPECT_NE(first.find("# TYPE aaa_depth gauge"), std::string::npos);
+  EXPECT_NE(first.find("# TYPE mmm_us histogram"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TextHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.RegisterHistogram("lat_us", "help", {10, 100});
+  for (int64_t value : {5, 10, 11, 100, 101}) histogram->Observe(value);
+  const std::string text = registry.WriteText();
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 227"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 5"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotCarriesValues) {
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("jobs_total", "help");
+  counter->Increment(3);
+  registry.RegisterGauge("depth", "help")->Set(-2);
+  const std::string json = registry.WriteJson();
+  EXPECT_EQ(json.find("{\"metrics\": ["), 0u);
+  EXPECT_NE(json.find("\"name\": \"jobs_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": -2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CollectorsRunAtScrapeTime) {
+  MetricsRegistry registry;
+  Gauge* mirrored = registry.RegisterGauge("mirrored", "help");
+  int source = 0;
+  registry.AddCollector([&source, mirrored] { mirrored->Set(source); });
+  source = 17;
+  EXPECT_NE(registry.WriteText().find("mirrored 17"), std::string::npos);
+  source = 23;  // a later scrape re-runs the collector
+  EXPECT_NE(registry.WriteText().find("mirrored 23"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ScrapesRaceSafelyWithUpdates) {
+  // TSan leg: concurrent Increment/Observe against WriteText must be
+  // clean — scrapes read relaxed atomics, never a torn struct.
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("race_total", "help");
+  Histogram* histogram =
+      registry.RegisterHistogram("race_us", "help", {100, 10000});
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([counter, histogram] {
+      for (int i = 0; i < 5000; ++i) {
+        counter->Increment();
+        histogram->Observe(i);
+      }
+    });
+  }
+  for (int s = 0; s < 20; ++s) {
+    EXPECT_FALSE(registry.WriteText().empty());
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(counter->Value(), 20000u);
+  EXPECT_EQ(histogram->Aggregate().count, 20000u);
+}
+
+TEST(TraceTest, NullContextAndNullSinkAreInert) {
+  ScopedSpan no_context(nullptr, 0, "never");
+  EXPECT_FALSE(no_context.active());
+  EXPECT_EQ(no_context.id(), 0u);
+  no_context.AddAttr("ignored", 1);  // must be safe
+
+  TraceContext unsinked(nullptr, "r", SteadyNow());
+  ScopedSpan no_sink(&unsinked, 0, "never");
+  EXPECT_FALSE(no_sink.active());
+  EXPECT_EQ(no_sink.id(), 0u);
+  unsinked.Event(0, "never", "");  // no-op, must not crash
+}
+
+TEST(TraceTest, SpanIdsGrowAndChildrenOutnumberParents) {
+  CountingTraceSink sink;
+  TraceContext ctx(&sink, "req", SteadyNow());
+  ScopedSpan parent(&ctx, 0, "parent");
+  EXPECT_EQ(parent.id(), 1u);
+  {
+    ScopedSpan child(&ctx, parent.id(), "child");
+    EXPECT_GT(child.id(), parent.id());
+  }
+  EXPECT_EQ(sink.count(), 1u);  // the child closed, the parent is open
+  parent.End();
+  EXPECT_EQ(sink.count(), 2u);
+  parent.End();  // idempotent
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_GT(sink.formatted_bytes(), 0);
+}
+
+TEST(TraceTest, JsonLinesSchema) {
+  TraceSpan span;
+  span.request_id = "tab\"le#1";
+  span.id = 3;
+  span.parent = 1;
+  span.name = "graph_build";
+  span.detail = "u=>ul";
+  span.start_us = 10;
+  span.end_us = 25;
+  span.attrs = {{"pairs", 6}};
+  EXPECT_EQ(FormatTraceSpanJson(span),
+            "{\"request\": \"tab\\\"le#1\", \"id\": 3, \"parent\": 1, "
+            "\"name\": \"graph_build\", \"detail\": \"u=>ul\", "
+            "\"start_us\": 10, \"end_us\": 25, \"attrs\": {\"pairs\": 6}}");
+  // detail and attrs are omitted when empty.
+  TraceSpan bare;
+  bare.request_id = "r";
+  bare.id = 1;
+  bare.name = "request";
+  const std::string formatted = FormatTraceSpanJson(bare);
+  EXPECT_EQ(formatted.find("detail"), std::string::npos);
+  EXPECT_EQ(formatted.find("attrs"), std::string::npos);
+}
+
+TEST(TraceTest, JsonLinesSinkWritesOneLinePerSpan) {
+  std::ostringstream out;
+  JsonLinesTraceSink sink(&out);
+  TraceContext ctx(&sink, "req", SteadyNow());
+  { ScopedSpan span(&ctx, 0, "a"); }
+  ctx.Event(1, "b", "note", {{"n", 2}});
+  const std::string text = out.str();
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"name\": \"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"b\""), std::string::npos);
+  // The event is a point span under parent 1.
+  EXPECT_NE(text.find("\"parent\": 1"), std::string::npos);
+}
+
+TEST(TraceTest, MonotonicTimestampsAndContainment) {
+  std::ostringstream out;
+  JsonLinesTraceSink sink(&out);
+  TraceContext ctx(&sink, "req", SteadyNow());
+  ScopedSpan parent(&ctx, 0, "parent");
+  { ScopedSpan child(&ctx, parent.id(), "child"); }
+  parent.End();
+  // Emission order is child first (RAII), and the parent's interval
+  // contains the child's; spot-check via the formatted output order.
+  const std::string text = out.str();
+  EXPECT_LT(text.find("\"name\": \"child\""), text.find("\"name\": \"parent\""));
+}
+
+TEST(TraceTest, ConcurrentSpansGetUniqueIds) {
+  // TSan leg: many threads open/close spans on one context; the id
+  // counter and the sink must both be thread-safe.
+  CountingTraceSink sink;
+  TraceContext ctx(&sink, "req", SteadyNow());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ctx] {
+      for (int i = 0; i < 1000; ++i) {
+        ScopedSpan span(&ctx, 0, "work");
+        span.AddAttr("i", i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(sink.count(), 4000u);
+  // All ids were handed out exactly once: the next one is #4001.
+  EXPECT_EQ(ctx.NextSpanId(), 4001u);
+}
+
+}  // namespace
+}  // namespace ustl

@@ -10,12 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "consolidate/oracle.h"
+#include "obs/trace.h"
 #include "pipeline/fault_oracle.h"
 #include "pipeline/pipeline.h"
 #include "serve/service.h"
@@ -644,6 +646,116 @@ TEST(ConsolidationServiceTest, AgingKeepsOutputByteIdentical) {
               baselines[t]);
   }
   EXPECT_GT(service.stats().aged_grants, 0u);
+}
+
+TEST(ServiceObservabilityTest, TracingNeverPerturbsOutputOrOracleTraffic) {
+  // The ISSUE 8 zero-perturbation gate at test scope: the same workload
+  // through a traced service and an untraced one must produce
+  // byte-identical tables AND identical backend call counts (tracing
+  // must not even shift the cache/batching behavior), across thread
+  // counts.
+  const std::vector<Table> originals = {MakeTable("Oak", 1, 6),
+                                        MakeTable("Pine", 2, 5)};
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    size_t backend_calls[2] = {0, 0};
+    for (int traced = 0; traced < 2; ++traced) {
+      ServiceOptions options;
+      options.framework = TestFramework();
+      options.num_threads = threads;
+      ApproveAllOracle oracle;
+      ConsolidationService service(&oracle, options);
+      CountingTraceSink sink;
+      std::vector<Table> tables = originals;
+      std::vector<uint64_t> handles;
+      for (Table& table : tables) {
+        RequestOptions request;
+        if (traced == 1) request.trace_sink = &sink;
+        handles.push_back(service.Submit(&table, std::move(request)));
+      }
+      for (size_t t = 0; t < tables.size(); ++t) {
+        RequestResult result = service.Wait(handles[t]);
+        EXPECT_EQ(FingerprintConsolidation(tables[t], result.golden_records),
+                  baselines[t])
+            << "table " << t << " traced=" << traced;
+      }
+      backend_calls[traced] = service.stats().oracle.backend_calls;
+      if (traced == 1) EXPECT_GT(sink.count(), 0u);
+    }
+    EXPECT_EQ(backend_calls[0], backend_calls[1]);
+  }
+}
+
+TEST(ServiceObservabilityTest, TraceStreamClosesEveryRequestWithOneRoot) {
+  // Each traced request must emit exactly one root "request" span
+  // (parent 0, id 1) whose request id is unique even when labels repeat.
+  std::ostringstream out;
+  JsonLinesTraceSink sink(&out);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  for (int round = 0; round < 2; ++round) {
+    Table table = MakeTable("Elm", 1, 4);
+    RequestOptions request;
+    request.label = "elm";  // same label both rounds
+    request.trace_sink = &sink;
+    service.Wait(service.Submit(&table, std::move(request)));
+  }
+  const std::string text = out.str();
+  size_t roots = 0;
+  size_t pos = 0;
+  while ((pos = text.find("\"name\": \"request\"", pos)) !=
+         std::string::npos) {
+    ++roots;
+    pos += 1;
+  }
+  EXPECT_EQ(roots, 2u);
+  // The label#id scheme keeps repeated labels distinct.
+  EXPECT_NE(text.find("\"request\": \"elm#1\""), std::string::npos);
+  EXPECT_NE(text.find("\"request\": \"elm#2\""), std::string::npos);
+}
+
+TEST(ServiceObservabilityTest, EventsCarryMonotonicSeqAndTimestamps) {
+  // ServeEvent seq is the 1-based per-request emission order and ts_us
+  // the service-relative steady clock: contiguous and non-decreasing per
+  // request (both excluded from determinism comparisons).
+  struct Seen {
+    std::vector<uint64_t> seqs;
+    std::vector<int64_t> ts;
+  };
+  std::map<uint64_t, Seen> per_request;
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 2;
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables = {MakeTable("Oak", 1, 6), MakeTable("Ash", 2, 4)};
+  std::vector<uint64_t> handles;
+  for (Table& table : tables) {
+    RequestOptions request;
+    request.on_event = [&per_request](const ServeEvent& event) {
+      per_request[event.request].seqs.push_back(event.seq);
+      per_request[event.request].ts.push_back(event.ts_us);
+    };
+    handles.push_back(service.Submit(&table, std::move(request)));
+  }
+  for (uint64_t handle : handles) service.Wait(handle);
+  ASSERT_EQ(per_request.size(), 2u);
+  for (const auto& entry : per_request) {
+    const Seen& seen = entry.second;
+    ASSERT_FALSE(seen.seqs.empty());
+    for (size_t i = 0; i < seen.seqs.size(); ++i) {
+      EXPECT_EQ(seen.seqs[i], i + 1);  // contiguous from 1
+    }
+    for (size_t i = 1; i < seen.ts.size(); ++i) {
+      EXPECT_GE(seen.ts[i], seen.ts[i - 1]);
+    }
+  }
 }
 
 }  // namespace

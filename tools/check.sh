@@ -125,6 +125,28 @@ for t in a b c; do
 done
 echo "fault-sweep serve smoke: byte-identical"
 
+# Observability byte-compare (ISSUE 8 acceptance): the same manifest with
+# --trace-out and --metrics-out armed must still match the serial
+# baselines byte for byte across threads {1,4} x codec {raw,block} —
+# tracing records, never perturbs — and every emitted span stream must
+# pass the structural validator (id ordering, interval containment, one
+# root per request).
+for threads in 1 4; do
+  for codec in raw block; do
+    ./build/ustl-serve --manifest build/serve_fwd.txt --threads "$threads" \
+      --index-codec "$codec" \
+      --trace-out "build/serve_trace_${threads}_${codec}.jsonl" \
+      --metrics-out build/serve_metrics.prom
+    for t in a b c; do
+      cmp build/serve_$t.base.csv build/serve_$t.out.csv
+    done
+    python3 tools/check_trace.py \
+      "build/serve_trace_${threads}_${codec}.jsonl" --min-requests 3
+  done
+done
+grep -q "ustl_requests_completed_total" build/serve_metrics.prom
+echo "observability serve smoke: byte-identical + traces valid"
+
 # Perf-regression gate (ISSUE 6 + ISSUE 7 acceptance): rerun the
 # self-checking micro-kernel suite plus the robustness legs and gate
 # their hardware-independent metrics (speedup_vs_seed, compression_ratio,
@@ -141,9 +163,9 @@ fi
 if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DUSTL_TSAN=ON
   cmake --build build-tsan -j"$JOBS" --target parallel_test grouping_test \
-    pipeline_test serve_test robustness_test
+    pipeline_test serve_test robustness_test obs_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "parallel_test|grouping_test|pipeline_test|serve_test|robustness_test")
+    -R "parallel_test|grouping_test|pipeline_test|serve_test|robustness_test|obs_test")
 fi
 
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then

@@ -72,6 +72,14 @@ GATES = {
     ("robustness_serve", "zero_fault"): [
         ("overhead_ratio", "exact_max", 1.02),
     ],
+    # Observability (ISSUE 8): full tracing + a live metrics scrape must
+    # cost <= 2% over the untraced service (best-of-5 minima), emit real
+    # spans, and never perturb the output bytes.
+    ("robustness_serve", "obs_overhead"): [
+        ("overhead_ratio", "exact_max", 1.02),
+        ("spans", "nonzero", None),
+        ("byte_identical", "nonzero", None),
+    ],
 }
 
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates a --trace-out JSON-lines span stream (obs/trace.h schema).
+
+Spans arrive in emission order (children close before parents — RAII),
+so the whole file is buffered and grouped by request id before any
+structural check. Per request, the contract is:
+
+  * exactly one root span named "request" with parent 0 and id 1
+    (request closure: the stream must not end with the root missing);
+  * span ids are unique, and every child id is greater than its parent
+    id (ids come from one per-request counter, and the parent is open
+    when the child is created);
+  * every non-zero parent resolves to a span of the same request;
+  * end_us >= start_us on every span (point events are equal), and a
+    child's interval is contained in its parent's.
+
+Usage: check_trace.py TRACE_FILE [--min-requests N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_spans(path):
+    """Returns {request_id: [span, ...]}, rejecting malformed lines."""
+    per_request = collections.OrderedDict()
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"check_trace: {path}:{number}: not JSON: {error}")
+            for field in ("request", "id", "parent", "name", "start_us",
+                          "end_us"):
+                if field not in span:
+                    raise SystemExit(
+                        f"check_trace: {path}:{number}: missing '{field}'")
+            per_request.setdefault(span["request"], []).append(span)
+    return per_request
+
+
+def check_request(request_id, spans, failures):
+    by_id = {}
+    for span in spans:
+        if span["id"] in by_id:
+            failures.append(f"{request_id}: duplicate span id {span['id']}")
+            return
+        by_id[span["id"]] = span
+
+    roots = [s for s in spans if s["parent"] == 0]
+    if len(roots) != 1 or roots[0]["name"] != "request":
+        failures.append(
+            f"{request_id}: expected exactly one 'request' root with "
+            f"parent 0, found {[(s['id'], s['name']) for s in roots]}")
+        return
+    if roots[0]["id"] != 1:
+        failures.append(
+            f"{request_id}: root span id is {roots[0]['id']}, expected 1")
+
+    for span in spans:
+        if span["end_us"] < span["start_us"]:
+            failures.append(
+                f"{request_id}: span {span['id']} ({span['name']}) ends "
+                f"before it starts: [{span['start_us']}, {span['end_us']}]")
+        if span["parent"] == 0:
+            continue
+        parent = by_id.get(span["parent"])
+        if parent is None:
+            failures.append(
+                f"{request_id}: span {span['id']} ({span['name']}) has "
+                f"unresolved parent {span['parent']}")
+            continue
+        if span["id"] <= span["parent"]:
+            failures.append(
+                f"{request_id}: span {span['id']} ({span['name']}) does "
+                f"not outnumber its parent {span['parent']}")
+        if (span["start_us"] < parent["start_us"]
+                or span["end_us"] > parent["end_us"]):
+            failures.append(
+                f"{request_id}: span {span['id']} ({span['name']}) "
+                f"[{span['start_us']}, {span['end_us']}] escapes parent "
+                f"{parent['id']} ({parent['name']}) "
+                f"[{parent['start_us']}, {parent['end_us']}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSON-lines span file (--trace-out)")
+    parser.add_argument("--min-requests", type=int, default=1,
+                        help="fail unless at least N requests were traced")
+    args = parser.parse_args()
+
+    per_request = load_spans(args.trace)
+    if len(per_request) < args.min_requests:
+        print(f"check_trace: only {len(per_request)} traced request(s), "
+              f"expected >= {args.min_requests}", file=sys.stderr)
+        return 1
+
+    failures = []
+    spans = 0
+    for request_id, request_spans in per_request.items():
+        spans += len(request_spans)
+        check_request(request_id, request_spans, failures)
+
+    if failures:
+        print(f"check_trace: {len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_trace: {spans} span(s) across {len(per_request)} "
+          f"request(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,15 +29,31 @@
 // saved. --events streams one JSON line per service event; events of
 // concurrent tables interleave in scheduling order (per-table order is
 // deterministic).
+//
+// Observability (obs/): --metrics-out FILE scrapes the service's metrics
+// registry into FILE — Prometheus text exposition, or a JSON snapshot
+// when FILE ends in ".json" — once at exit and, with
+// --metrics-interval-ms N, periodically while serving (each scrape
+// rewrites the file atomically enough for a tailing reader: full
+// snapshot, single write). --trace-out FILE appends one JSON line per
+// trace span for every request (span schema in obs/trace.h). Both are
+// write-only taps: output CSVs stay byte-identical with them on or off.
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "consolidate/oracle.h"
 #include "io/csv.h"
+#include "obs/trace.h"
 #include "pipeline/fault_oracle.h"
 #include "serve/service.h"
 
@@ -67,6 +83,9 @@ struct Args {
   int64_t deadline_ms = 0;    // per-request deadline; 0 = none
   std::string fault_plan;     // FaultPlan spec; empty = no injection
   int retry_attempts = 4;     // retry budget when a fault plan is active
+  std::string metrics_out;    // metrics snapshot file; empty = no scrape
+  std::string trace_out;      // JSON-lines span file; empty = untraced
+  int64_t metrics_interval_ms = 0;  // periodic scrape; 0 = exit-only
 };
 
 void Usage() {
@@ -87,6 +106,14 @@ void Usage() {
       "                   injection and fronts it with bounded retries)]\n"
       "                  [--retry-attempts N (default: 4; retry budget\n"
       "                   used when --fault-plan is active)]\n"
+      "                  [--metrics-out FILE (scrape the metrics registry\n"
+      "                   into FILE at exit: Prometheus text, or a JSON\n"
+      "                   snapshot when FILE ends in .json)]\n"
+      "                  [--metrics-interval-ms N (default: 0 = exit-only;\n"
+      "                   with --metrics-out, also rescrape every N ms)]\n"
+      "                  [--trace-out FILE (append one JSON line per trace\n"
+      "                   span; observability only — output CSVs are\n"
+      "                   byte-identical traced or not)]\n"
       "\n"
       "Runs a manifest of tables concurrently through one long-lived\n"
       "consolidation service; per-table output is byte-identical to a\n"
@@ -146,10 +173,15 @@ const char* EventKindName(ServeEvent::Kind kind) {
 
 void PrintEvent(const ServeEvent& event) {
   // The service serializes on_event invocations, so printf lines never
-  // interleave mid-line.
-  std::printf("{\"event\": \"%s\", \"request\": %llu, \"label\": \"%s\"",
+  // interleave mid-line. seq is the 1-based per-request event sequence;
+  // ts_us is microseconds since service construction — both scheduling-
+  // dependent, so determinism comparisons must ignore them.
+  std::printf("{\"event\": \"%s\", \"request\": %llu, \"seq\": %llu, "
+              "\"ts_us\": %lld, \"label\": \"%s\"",
               EventKindName(event.kind),
               static_cast<unsigned long long>(event.request),
+              static_cast<unsigned long long>(event.seq),
+              static_cast<long long>(event.ts_us),
               JsonEscape(event.label).c_str());
   if (event.kind == ServeEvent::Kind::kVerdict) {
     std::printf(", \"column\": \"%s\", \"presented\": %zu, \"size\": %zu, "
@@ -181,6 +213,43 @@ void PrintEvent(const ServeEvent& event) {
   std::printf("}\n");
   std::fflush(stdout);
 }
+
+// Runs `scrape` every `interval_ms` on a background thread until
+// destroyed (RAII, so early error returns in main never leave the
+// thread running). The scrape callback only READS the metrics registry
+// — it can race harmlessly with the final exit-time scrape but never
+// perturbs serving.
+class PeriodicScraper {
+ public:
+  PeriodicScraper(std::function<void()> scrape, int64_t interval_ms)
+      : scrape_(std::move(scrape)) {
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return done_; })) {
+        lock.unlock();
+        scrape_();
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicScraper() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::function<void()> scrape_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 Result<std::vector<ManifestEntry>> ParseManifest(const std::string& content) {
   std::vector<ManifestEntry> entries;
@@ -289,6 +358,13 @@ int main(int argc, char** argv) {
       args.fault_plan = next("--fault-plan");
     } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
       args.retry_attempts = std::atoi(next("--retry-attempts"));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      args.metrics_out = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--metrics-interval-ms") == 0) {
+      args.metrics_interval_ms =
+          std::strtoll(next("--metrics-interval-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      args.trace_out = next("--trace-out");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -355,6 +431,38 @@ int main(int argc, char** argv) {
   std::printf("serving %zu table(s) x %zu round(s) on %d worker(s)\n",
               entries->size(), args.repeat, service.workers());
 
+  // Observability taps. The trace sink appends one JSON line per span as
+  // requests finish spans; the metrics scrape snapshots the registry —
+  // exit-time always, periodically when --metrics-interval-ms is set.
+  std::unique_ptr<std::ofstream> trace_stream;
+  std::unique_ptr<JsonLinesTraceSink> trace_sink;
+  if (!args.trace_out.empty()) {
+    trace_stream = std::make_unique<std::ofstream>(args.trace_out);
+    if (!*trace_stream) {
+      std::fprintf(stderr, "cannot open --trace-out %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<JsonLinesTraceSink>(trace_stream.get());
+  }
+  auto scrape_metrics = [&service, &args] {
+    const std::string& path = args.metrics_out;
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    const std::string body =
+        json ? service.metrics().WriteJson() : service.metrics().WriteText();
+    Status status = WriteStringToFile(path, body);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics scrape: %s\n",
+                   status.ToString().c_str());
+    }
+  };
+  std::unique_ptr<PeriodicScraper> scraper;
+  if (!args.metrics_out.empty() && args.metrics_interval_ms > 0) {
+    scraper = std::make_unique<PeriodicScraper>(scrape_metrics,
+                                                args.metrics_interval_ms);
+  }
+
   ServiceStats previous;  // cumulative stats at the last round boundary
   for (size_t round = 1; round <= args.repeat; ++round) {
     std::vector<ClusteredCsv> tables = originals;  // fresh copies
@@ -370,6 +478,7 @@ int main(int argc, char** argv) {
         request.framework = framework;
       }
       if (args.events) request.on_event = PrintEvent;
+      request.trace_sink = trace_sink.get();
       handles[t] = service.Submit(&tables[t].table, std::move(request));
     }
 
@@ -430,5 +539,9 @@ int main(int argc, char** argv) {
         now.requests_deadline_exceeded - previous.requests_deadline_exceeded);
     previous = now;
   }
+
+  scraper.reset();  // stop the periodic thread before the final snapshot
+  if (!args.metrics_out.empty()) scrape_metrics();
+  if (trace_stream) trace_stream->flush();
   return 0;
 }
