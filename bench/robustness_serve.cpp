@@ -23,9 +23,19 @@
 //     byte-identical (the ISSUE 8 zero-perturbation gate). The sink is
 //     CountingTraceSink — it pays the full JSON formatting cost and
 //     discards the bytes, so the measurement prices emission honestly
-//     without timing the filesystem.
+//     without timing the filesystem;
+//   * persist_overhead — the durability layer armed (persist_dir set,
+//     fsync=batch, every verdict WAL-logged, final snapshot on drain)
+//     vs. the plain service: overhead must stay within 10% and output
+//     byte-identical; then a warm restart over the same directory must
+//     recover a nonzero record count and serve the same workload with
+//     strictly fewer backend calls (the ISSUE 9 crash-safety gate,
+//     measured on its happy path).
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -303,6 +313,69 @@ int main() {
            "\"overhead_ratio\": %.4f, \"spans\": %llu, "
            "\"byte_identical\": true}\n",
            untraced_best, traced_best, traced_best / untraced_best, spans);
+  }
+
+  // --- persist_overhead: WAL + snapshot armed vs. the plain service,
+  // then a warm restart over the persisted directory.
+  {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("ustl_bench_persist_" + std::to_string(::getpid())))
+            .string();
+    double plain_best = 0.0;
+    double persisted_best = 0.0;
+    size_t cold_calls = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      ApproveAllOracle plain_backend;
+      ServiceOptions plain_options;
+      const double plain = RunWorkload(workload, &plain_backend,
+                                       plain_options, 0, nullptr, nullptr);
+      if (plain_best == 0.0 || plain < plain_best) plain_best = plain;
+
+      fs::remove_all(dir);  // every persisted rep starts cold
+      ApproveAllOracle persisted_backend;
+      ServiceOptions persisted_options;
+      persisted_options.persist_dir = dir;
+      persisted_options.persist.fsync = FsyncPolicy::kBatch;
+      bool byte_identical = false;
+      ServiceStats stats;
+      const double persisted =
+          RunWorkload(workload, &persisted_backend, persisted_options, 0,
+                      &byte_identical, &stats);
+      if (persisted_best == 0.0 || persisted < persisted_best) {
+        persisted_best = persisted;
+      }
+      cold_calls = stats.oracle.backend_calls;
+      if (!byte_identical) {
+        printf("{\"bench\": \"robustness_serve\", \"variant\": "
+               "\"persist_overhead\", \"error\": \"not byte-identical\"}\n");
+        return 1;
+      }
+    }
+
+    // Warm restart over the last rep's directory: recovery must report
+    // records and strictly cut backend traffic, with identical bytes.
+    ApproveAllOracle warm_backend;
+    ServiceOptions warm_options;
+    warm_options.persist_dir = dir;
+    bool warm_identical = false;
+    ServiceStats warm_stats;
+    RunWorkload(workload, &warm_backend, warm_options, 0, &warm_identical,
+                &warm_stats);
+    fs::remove_all(dir);
+    const unsigned long long recovered =
+        static_cast<unsigned long long>(warm_stats.persist.recovered_records);
+    const bool warm_saves = warm_stats.oracle.backend_calls < cold_calls;
+    printf("{\"bench\": \"robustness_serve\", "
+           "\"variant\": \"persist_overhead\", "
+           "\"plain_seconds\": %.4f, \"persisted_seconds\": %.4f, "
+           "\"overhead_ratio\": %.4f, \"recovered_records\": %llu, "
+           "\"cold_backend_calls\": %zu, \"warm_backend_calls\": %zu, "
+           "\"warm_call_savings\": %d, \"byte_identical\": %s}\n",
+           plain_best, persisted_best, persisted_best / plain_best, recovered,
+           cold_calls, warm_stats.oracle.backend_calls, warm_saves ? 1 : 0,
+           (warm_identical && recovered > 0) ? "true" : "false");
   }
   return 0;
 }

@@ -36,6 +36,9 @@ enum class RequestStatus : uint8_t {
   /// The completed-but-unwaited handle was garbage-collected before
   /// Wait() arrived (ServiceOptions::max_retained_results).
   kReaped,
+  /// The service had begun draining (Shutdown) when Submit arrived; the
+  /// request was never admitted. In-flight requests are unaffected.
+  kShuttingDown,
 };
 
 inline const char* RequestStatusName(RequestStatus status) {
@@ -50,6 +53,8 @@ inline const char* RequestStatusName(RequestStatus status) {
       return "error";
     case RequestStatus::kReaped:
       return "reaped";
+    case RequestStatus::kShuttingDown:
+      return "shutting_down";
   }
   return "unknown";
 }

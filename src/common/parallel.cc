@@ -134,7 +134,17 @@ void ParallelFor(ThreadPool* pool, size_t n,
   std::unique_lock<std::mutex> lock(state->mutex);
   state->all_done.wait(lock,
                        [&] { return state->chunks_done == state->chunks; });
-  if (state->error != nullptr) std::rethrow_exception(state->error);
+  if (state->error == nullptr) return;
+  lock.unlock();
+  // Helper closures may still hold their state reference for a few
+  // instructions after publishing the last chunk (the pool destroys a
+  // submitted task only after it returns). On the error path, wait them
+  // out so this thread — the one about to rethrow and read the exception
+  // — is also the one that releases its last reference: a worker freeing
+  // the exception object while a handler here still reads it is exactly
+  // the ordering libstdc++'s EH refcounting hides from TSan.
+  while (state.use_count() > 1) std::this_thread::yield();
+  std::rethrow_exception(state->error);
 }
 
 }  // namespace ustl

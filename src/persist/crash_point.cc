@@ -1,0 +1,86 @@
+#include "persist/crash_point.h"
+
+#include <csignal>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace ustl {
+
+namespace {
+
+std::atomic<uint8_t> g_kind{static_cast<uint8_t>(CrashPointKind::kNone)};
+std::atomic<uint64_t> g_countdown{0};
+
+}  // namespace
+
+void CrashPoint::Arm(CrashPointKind kind, uint64_t at) {
+  if (kind == CrashPointKind::kNone || at == 0) {
+    Disarm();
+    return;
+  }
+  // Countdown first: a concurrent Reached() observing the new kind must
+  // also observe a live countdown, never a stale zero.
+  g_countdown.store(at, std::memory_order_relaxed);
+  g_kind.store(static_cast<uint8_t>(kind), std::memory_order_release);
+}
+
+void CrashPoint::Disarm() {
+  g_kind.store(static_cast<uint8_t>(CrashPointKind::kNone),
+               std::memory_order_release);
+  g_countdown.store(0, std::memory_order_relaxed);
+}
+
+Status CrashPoint::ArmFromSpec(std::string_view spec) {
+  if (spec.empty()) {
+    Disarm();
+    return Status::OK();
+  }
+  const size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("crash point spec '" + std::string(spec) +
+                                   "': expected kind:N");
+  }
+  const std::string_view name = spec.substr(0, colon);
+  const std::string count_str(spec.substr(colon + 1));
+  char* end = nullptr;
+  const uint64_t at = std::strtoull(count_str.c_str(), &end, 10);
+  if (end == count_str.c_str() || *end != '\0' || at == 0) {
+    return Status::InvalidArgument("crash point spec '" + std::string(spec) +
+                                   "': N must be a positive integer");
+  }
+  CrashPointKind kind;
+  if (name == "wal_append") {
+    kind = CrashPointKind::kWalAppend;
+  } else if (name == "wal_mid_record") {
+    kind = CrashPointKind::kWalMidRecord;
+  } else if (name == "snapshot_temp") {
+    kind = CrashPointKind::kSnapshotTemp;
+  } else if (name == "snapshot_rename") {
+    kind = CrashPointKind::kSnapshotRename;
+  } else {
+    return Status::InvalidArgument("crash point spec '" + std::string(spec) +
+                                   "': unknown kind");
+  }
+  Arm(kind, at);
+  return Status::OK();
+}
+
+bool CrashPoint::Reached(CrashPointKind kind) {
+  if (static_cast<CrashPointKind>(g_kind.load(std::memory_order_acquire)) !=
+      kind) {
+    return false;
+  }
+  // fetch_sub counts every hit exactly once even when writers race; only
+  // the hit that takes the countdown from 1 to 0 is "the" armed one.
+  return g_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+void CrashPoint::Kill() {
+  // SIGKILL cannot be caught or ignored: the process dies mid-syscall
+  // sequence with no unwinding, which is the whole point of the seam.
+  std::raise(SIGKILL);
+  std::abort();  // unreachable; keeps [[noreturn]] honest if raise fails
+}
+
+}  // namespace ustl

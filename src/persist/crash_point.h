@@ -1,0 +1,68 @@
+// Failpoint seam for kill-testing the durability layer (ISSUE 9). A
+// crash-safe log is only honest if something actually kills the process
+// at the worst possible byte: CrashPoint lets tests and the check.sh
+// crash-recovery leg arm exactly one process-wide failpoint — "the Nth
+// WAL append", "mid-way through the Nth record's bytes", "after the
+// snapshot temp file, before the rename" — and the instrumented writer
+// then raises SIGKILL at that seam: no destructors, no flush, no atexit.
+// Data already handed to write(2) survives in the page cache (process
+// death, not machine death), so the restarted process sees precisely the
+// torn prefix a real crash would have left.
+//
+// The seam is deliberately dumb: a single armed (kind, countdown) pair
+// behind relaxed atomics, disarmed by default, checked only inside the
+// persist writers. An unarmed check is one atomic load — the production
+// hot path pays nothing measurable.
+#ifndef USTL_PERSIST_CRASH_POINT_H_
+#define USTL_PERSIST_CRASH_POINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ustl {
+
+enum class CrashPointKind : uint8_t {
+  kNone = 0,
+  /// After a WAL record's bytes are fully handed to write(2) — a record
+  /// boundary: recovery must replay every record including this one.
+  kWalAppend,
+  /// Before a WAL record is written, the writer emits only a torn prefix
+  /// of its frame (header plus half the payload) and dies — recovery must
+  /// truncate the tear and replay everything before it.
+  kWalMidRecord,
+  /// After the snapshot temp file is written and synced, before the
+  /// rename — recovery must ignore the temp file and use the old
+  /// snapshot + full WAL.
+  kSnapshotTemp,
+  /// After the snapshot rename landed, before the WAL is compacted —
+  /// recovery reads the new snapshot plus the stale (pre-compaction)
+  /// WAL, whose records must be harmless duplicates.
+  kSnapshotRename,
+};
+
+class CrashPoint {
+ public:
+  /// Arms the process-wide failpoint: the `at`-th (1-based) hit of `kind`
+  /// kills the process. Replaces any previous arming; kNone disarms.
+  static void Arm(CrashPointKind kind, uint64_t at);
+  static void Disarm();
+
+  /// Parses "wal_append:N", "wal_mid_record:N", "snapshot_temp:N" or
+  /// "snapshot_rename:N" (N >= 1) and arms it; "" disarms.
+  static Status ArmFromSpec(std::string_view spec);
+
+  /// Counts one hit of `kind`; true when this hit is the armed one. The
+  /// caller then performs its deliberately-partial write (if any) and
+  /// calls Kill(). Unarmed: a single relaxed load.
+  static bool Reached(CrashPointKind kind);
+
+  /// raise(SIGKILL): the process dies without unwinding — exactly what a
+  /// crash leaves behind.
+  [[noreturn]] static void Kill();
+};
+
+}  // namespace ustl
+
+#endif  // USTL_PERSIST_CRASH_POINT_H_

@@ -1,0 +1,125 @@
+// Durable warm state for the serving stack (ISSUE 9 tentpole): the
+// OracleBroker's verdict cache and approved-transformation log, persisted
+// as a snapshot plus a WAL of binary records, recovered on open.
+//
+// Why these two structures and nothing else: both are pure functions of
+// question *content* (the order-independence contract in
+// consolidate/oracle.h), so replaying any durable prefix of them into a
+// fresh broker can never change an output byte — it only skips backend
+// calls the warm broker no longer needs to make. Service history, search
+// caches, in-flight requests are all recomputable or per-request and stay
+// volatile.
+//
+// Layout under the persist dir:
+//   snapshot.bin — full state at the last compaction (snapshot.h format)
+//   wal.log      — records appended since (wal.h format)
+// Recovery = decode snapshot, then replay the WAL's durable prefix on
+// top. Duplicates (a crash between snapshot rename and WAL reset) are
+// absorbed by the broker's idempotent restore paths.
+#ifndef USTL_PERSIST_DURABLE_STATE_H_
+#define USTL_PERSIST_DURABLE_STATE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/wal.h"
+#include "pipeline/oracle_broker.h"
+
+namespace ustl {
+
+/// Counters behind the ustl_persist_* gauges (obs/metrics.h).
+struct PersistStats {
+  uint64_t wal_appends = 0;
+  uint64_t fsyncs = 0;
+  /// Records recovered on open: snapshot entries + intact WAL records.
+  uint64_t recovered_records = 0;
+  /// Bytes dropped from the WAL tail on open (a torn write; expected
+  /// after a crash, not an error).
+  uint64_t truncated_tail_bytes = 0;
+  uint64_t snapshot_writes = 0;
+};
+
+/// Binary record codec shared by the WAL payloads and snapshot entries.
+/// Encoding is little-endian, length-prefixed; decoding is bounds-checked
+/// against every length so corrupt or adversarial bytes yield a typed
+/// error, never an over-read.
+std::string EncodeVerdictRecord(const DurableVerdict& verdict);
+std::string EncodeApprovedRecord(const DurableApproved& approved);
+/// Decodes one record into whichever side of `out` it belongs to.
+Status DecodeDurableRecord(std::string_view bytes, OracleDurableState* out);
+
+class DurableState : public OracleDurabilityListener {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    /// Under kBatch: fsync once every this many WAL appends.
+    uint64_t batch_appends = 32;
+    /// Snapshot + WAL reset once the WAL grows past this (0 = never
+    /// auto-compact; the final shutdown snapshot still happens).
+    uint64_t compact_wal_bytes = 4ull << 20;
+  };
+
+  /// Opens (creating if needed) the persist dir, recovers the snapshot +
+  /// WAL durable prefix, and leaves the WAL open for appending. Fails
+  /// with a typed error on unreadable/corrupt snapshot or undecodable WAL
+  /// records (a torn WAL *tail* is recovery, not an error).
+  static Result<std::unique_ptr<DurableState>> Open(const std::string& dir,
+                                                    const Options& options);
+
+  ~DurableState() override;
+
+  /// Seeds `broker` with the recovered state, then attaches this as its
+  /// durability listener — in that order, so recovery is never re-logged.
+  /// Call once, before the broker sees its first question. The caller
+  /// must detach the listener (SetDurabilityListener(nullptr)) before
+  /// destroying this object.
+  void RecoverInto(OracleBroker* broker);
+
+  // OracleDurabilityListener — called under the broker mutex; appends one
+  // WAL record. An I/O failure is remembered (surfaced by Flush) rather
+  // than thrown into the broker's hot path.
+  void OnVerdictCached(const DurableVerdict& verdict) override;
+  void OnApprovedRecorded(const DurableApproved& approved) override;
+
+  /// True once the WAL has outgrown Options::compact_wal_bytes. The
+  /// service polls this outside the broker lock and, when set, exports
+  /// the broker state and calls WriteSnapshot — never from inside the
+  /// listener, which holds the broker mutex that ExportDurableState
+  /// needs.
+  bool ShouldCompact() const;
+
+  /// Writes `state` as the new snapshot (atomic publish), then resets the
+  /// WAL: every logged record is now redundant. Records appended by other
+  /// threads between the export and the reset are dropped from disk —
+  /// they cost a re-asked question after a crash, never a changed byte.
+  Status WriteSnapshot(const OracleDurableState& state);
+
+  /// fsyncs pending WAL appends and surfaces any append error remembered
+  /// by the listener path.
+  Status Flush();
+
+  PersistStats stats() const;
+
+ private:
+  DurableState() = default;
+  void AppendRecord(const std::string& payload);
+
+  std::string dir_;
+  Options options_;
+  mutable std::mutex mutex_;
+  Wal wal_;
+  /// State recovered at Open, handed to the broker by RecoverInto (then
+  /// released).
+  OracleDurableState recovered_;
+  uint64_t recovered_records_ = 0;
+  uint64_t truncated_tail_bytes_ = 0;
+  uint64_t snapshot_writes_ = 0;
+  Status deferred_error_;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_PERSIST_DURABLE_STATE_H_

@@ -1,0 +1,44 @@
+// Atomic, checksummed point-in-time snapshots (ISSUE 9 tentpole).
+//
+// On-disk format, little-endian:
+//
+//   "USTLSNP1"                   8-byte magic + version
+//   u64 record_count
+//   record_count times: [u32 len][bytes]
+//   u32 crc32c(everything above)
+//
+// A snapshot is written with the classic atomic-publish dance: write a
+// temp file in the same directory, fsync it, rename(2) over the final
+// name, fsync the directory. A crash at any point leaves either the old
+// snapshot or the new one — never a half-written file under the final
+// name. The reader validates magic, count, framing, and the trailing CRC
+// and returns a typed error (never a crash, never a partial result) for
+// anything malformed.
+#ifndef USTL_PERSIST_SNAPSHOT_H_
+#define USTL_PERSIST_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustl {
+
+/// Atomically replaces `path` with `records` in snapshot format.
+/// Carries the kSnapshotTemp / kSnapshotRename crash points.
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<std::string>& records);
+
+/// Reads and validates a snapshot. NotFound if the file does not exist;
+/// Internal (with a reason) for any corruption.
+Status ReadSnapshotFile(const std::string& path,
+                        std::vector<std::string>* records);
+
+/// Write-temp-fsync-rename for arbitrary file contents — used for the
+/// final metrics scrape so a crash never leaves a truncated file under
+/// the published name.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace ustl
+
+#endif  // USTL_PERSIST_SNAPSHOT_H_

@@ -233,6 +233,9 @@ void OracleBroker::CacheInsert(const SearchCacheKey& key,
   entry.verdict = verdict;
   entry.recency = recency_.begin();
   cache_.emplace(key, std::move(entry));
+  if (durability_ != nullptr) {
+    durability_->OnVerdictCached(DurableVerdict{key, verdict});
+  }
   if (options_.max_cache_entries == 0) return;
   while (cache_.size() > options_.max_cache_entries) {
     cache_.erase(recency_.back());
@@ -247,14 +250,82 @@ void OracleBroker::RecordVerdict(const QuestionContext& context,
   if (!verdict.approved || context.program.empty()) return;
   LogKey key(std::string(context.column), std::string(context.program),
              verdict.direction);
-  auto& ranks = log_[std::move(key)];
+  auto& ranks = log_[key];
   auto [it, inserted] = ranks.emplace(context.presented, pairs);
+  bool updated = false;
   if (!inserted && pairs < it->second) {
     // Same-named columns can approve the same key at the same rank with
     // different member lists; a deterministic tie-break keeps the log
     // schedule-independent.
     it->second = pairs;
+    updated = true;
   }
+  if ((inserted || updated) && durability_ != nullptr) {
+    // A tie-break update re-appends the record; restore applies the same
+    // tie-break, so the duplicate converges to the same entry.
+    DurableApproved record;
+    record.column = std::get<0>(key);
+    record.program = std::get<1>(key);
+    record.direction = std::get<2>(key);
+    record.rank = it->first;
+    record.pairs = it->second;
+    durability_->OnApprovedRecorded(record);
+  }
+}
+
+void OracleBroker::SetDurabilityListener(OracleDurabilityListener* listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durability_ = listener;
+}
+
+void OracleBroker::RestoreDurableState(const OracleDurableState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OracleDurabilityListener* saved = durability_;
+  durability_ = nullptr;  // restore never re-appends to its own log
+  if (options_.cache_verdicts) {
+    for (const DurableVerdict& verdict : state.verdicts) {
+      // A duplicate key (a WAL not yet compacted after its snapshot
+      // landed) restores once; the entry contents are identical by the
+      // order-independence contract.
+      if (cache_.find(verdict.key) != cache_.end()) continue;
+      CacheInsert(verdict.key, verdict.verdict);
+    }
+  }
+  for (const DurableApproved& approved : state.approved) {
+    LogKey key(approved.column, approved.program, approved.direction);
+    auto& ranks = log_[std::move(key)];
+    auto [it, inserted] =
+        ranks.emplace(static_cast<size_t>(approved.rank), approved.pairs);
+    if (!inserted && approved.pairs < it->second) {
+      it->second = approved.pairs;
+    }
+  }
+  durability_ = saved;
+}
+
+OracleDurableState OracleBroker::ExportDurableState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OracleDurableState state;
+  state.verdicts.reserve(cache_.size());
+  // Least-recently-used first: restore pushes each entry to the recency
+  // front, so replaying this order rebuilds the exact LRU order.
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    auto found = cache_.find(*it);
+    if (found == cache_.end()) continue;
+    state.verdicts.push_back(DurableVerdict{*it, found->second.verdict});
+  }
+  for (const auto& [key, ranks] : log_) {
+    for (const auto& [rank, pairs] : ranks) {
+      DurableApproved record;
+      record.column = std::get<0>(key);
+      record.program = std::get<1>(key);
+      record.direction = std::get<2>(key);
+      record.rank = rank;
+      record.pairs = pairs;
+      state.approved.push_back(std::move(record));
+    }
+  }
+  return state;
 }
 
 OracleBrokerStats OracleBroker::stats() const {

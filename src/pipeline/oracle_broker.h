@@ -59,6 +59,49 @@ struct OracleBrokerStats {
   size_t evictions = 0;
 };
 
+/// One cached verdict in durable form: the 128-bit content key plus the
+/// verdict itself. Re-seeding a broker with it skips the backend call a
+/// fresh ask would have made — and, by the order-independence contract,
+/// changes nothing else.
+struct DurableVerdict {
+  SearchCacheKey key;
+  Verdict verdict;
+};
+
+/// One approved-log record in raw (pre-parse) form: exactly the broker's
+/// internal (column, program, direction) -> (rank, member pairs) entry,
+/// so restore rebuilds the log byte-identically without re-parsing
+/// programs.
+struct DurableApproved {
+  std::string column;
+  std::string program;
+  ReplaceDirection direction = ReplaceDirection::kLhsToRhs;
+  uint64_t rank = 0;
+  std::vector<StringPair> pairs;
+};
+
+/// A broker's complete warm state in replayable form. Verdicts are
+/// ordered least-recently-used first so that restoring them one by one
+/// through the normal insert path reproduces the LRU order; approved
+/// records are in the log's deterministic map order.
+struct OracleDurableState {
+  std::vector<DurableVerdict> verdicts;
+  std::vector<DurableApproved> approved;
+};
+
+/// Durability hook: invoked under the broker mutex whenever NEW warm
+/// state is created — a verdict inserted into the cache, an approved
+/// record inserted (or tie-break-updated) in the log. Cache hits and
+/// duplicate records do not fire. Implementations must not call back
+/// into the broker (the mutex is held) and should be fast: an append to
+/// a WAL, not a snapshot.
+class OracleDurabilityListener {
+ public:
+  virtual ~OracleDurabilityListener() = default;
+  virtual void OnVerdictCached(const DurableVerdict& verdict) = 0;
+  virtual void OnApprovedRecorded(const DurableApproved& approved) = 0;
+};
+
 class OracleBroker : public VerificationOracle {
  public:
   struct Options {
@@ -101,6 +144,24 @@ class OracleBroker : public VerificationOracle {
 
   /// ApprovedLog() in the replay.h text form.
   std::string SerializeApprovedLog() const;
+
+  /// Attaches (or detaches, with nullptr) the durability listener. Attach
+  /// AFTER RestoreDurableState so recovered records are not re-appended
+  /// to their own log; detach before the listener is destroyed.
+  void SetDurabilityListener(OracleDurabilityListener* listener);
+
+  /// Re-seeds the cache and approved log from a previously exported (or
+  /// WAL-replayed) state, through the normal insert paths: duplicates are
+  /// skipped, log collisions take the deterministic tie-break, the LRU
+  /// bound applies. Does not fire the durability listener and does not
+  /// touch stats — recovered state is warmth, not traffic. Call before
+  /// the first question.
+  void RestoreDurableState(const OracleDurableState& state);
+
+  /// The broker's current warm state in restorable form (see
+  /// OracleDurableState ordering guarantees). Safe to call concurrently
+  /// with traffic; the export is a consistent point-in-time copy.
+  OracleDurableState ExportDurableState() const;
 
  private:
   struct Request {
@@ -150,6 +211,9 @@ class OracleBroker : public VerificationOracle {
   std::vector<Request*> queue_;
   bool draining_ = false;
   OracleBrokerStats stats_;
+  /// Durability hook (null = no persistence). Fired under mutex_ on new
+  /// cache inserts and new/updated log records.
+  OracleDurabilityListener* durability_ = nullptr;
   /// Approved records: per (column, program, direction), one entry per
   /// presentation rank it was approved at, carrying the member pairs the
   /// session applied. Keeping every rank (not just the best) is what lets

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "common/timer.h"
@@ -71,6 +72,22 @@ ConsolidationService::ConsolidationService(VerificationOracle* backend,
   paused_ = options_.start_paused;
   boost_tokens_ = budget_ % workers_;
   RegisterMetrics();
+  if (!options_.persist_dir.empty()) {
+    // Recover BEFORE the first request can be admitted: the broker is
+    // seeded with the durable prefix, then the listener attaches so only
+    // genuinely new state is WAL-logged. A torn WAL tail is recovery;
+    // an unreadably corrupt snapshot is a construction failure — serving
+    // with silently partial warm state is the one thing this layer must
+    // never do.
+    Result<std::unique_ptr<DurableState>> opened =
+        DurableState::Open(options_.persist_dir, options_.persist);
+    if (!opened.ok()) {
+      throw std::runtime_error("persist recovery failed: " +
+                               opened.status().ToString());
+    }
+    persist_ = std::move(opened).value();
+    persist_->RecoverInto(&broker_);
+  }
 }
 
 void ConsolidationService::RegisterMetrics() {
@@ -92,6 +109,9 @@ void ConsolidationService::RegisterMetrics() {
       "ustl_aged_grants_total", "Fairness-aging out-of-cycle grants");
   handles_reaped_ = metrics_.RegisterCounter(
       "ustl_handles_reaped_total", "Unwaited results reclaimed by the GC");
+  requests_rejected_ = metrics_.RegisterCounter(
+      "ustl_requests_rejected_total",
+      "Submits rejected with kShuttingDown after drain began");
   grouping_searches_ = metrics_.RegisterCounter(
       "ustl_grouping_searches_total", "Pivot searches run by column jobs");
   grouping_expansions_ = metrics_.RegisterCounter(
@@ -171,6 +191,18 @@ void ConsolidationService::RegisterMetrics() {
       "ustl_active_requests", "Admitted, not yet finalized requests");
   Gauge* max_concurrent = metrics_.RegisterGauge(
       "ustl_max_concurrent_requests", "High-water mark of active requests");
+  Gauge* persist_wal_appends = metrics_.RegisterGauge(
+      "ustl_persist_wal_appends", "Durable records appended to the WAL");
+  Gauge* persist_fsyncs =
+      metrics_.RegisterGauge("ustl_persist_fsyncs", "WAL fsync calls");
+  Gauge* persist_recovered = metrics_.RegisterGauge(
+      "ustl_persist_recovered_records",
+      "Records recovered on open (snapshot + WAL durable prefix)");
+  Gauge* persist_truncated = metrics_.RegisterGauge(
+      "ustl_persist_truncated_tail_bytes",
+      "Torn-tail bytes dropped from the WAL on open");
+  Gauge* persist_snapshots = metrics_.RegisterGauge(
+      "ustl_persist_snapshot_writes", "Snapshots written (compaction + final)");
   metrics_.AddCollector([=] {
     const OracleBrokerStats oracle = broker_.stats();
     oracle_questions->Set(static_cast<int64_t>(oracle.questions));
@@ -197,6 +229,15 @@ void ConsolidationService::RegisterMetrics() {
       retry_replayed->Set(static_cast<int64_t>(retry.replayed_verdicts));
       retry_breaker_open->Set(retrying_->breaker_open() ? 1 : 0);
     }
+    if (persist_ != nullptr) {
+      const PersistStats persist = persist_->stats();
+      persist_wal_appends->Set(static_cast<int64_t>(persist.wal_appends));
+      persist_fsyncs->Set(static_cast<int64_t>(persist.fsyncs));
+      persist_recovered->Set(static_cast<int64_t>(persist.recovered_records));
+      persist_truncated->Set(
+          static_cast<int64_t>(persist.truncated_tail_bytes));
+      persist_snapshots->Set(static_cast<int64_t>(persist.snapshot_writes));
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     active_requests->Set(static_cast<int64_t>(active_.size()));
     max_concurrent->Set(static_cast<int64_t>(max_concurrent_requests_));
@@ -204,12 +245,39 @@ void ConsolidationService::RegisterMetrics() {
 }
 
 ConsolidationService::~ConsolidationService() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  paused_ = false;
-  Pump();
-  idle_cv_.wait(lock, [&] { return active_.empty() && running_jobs_ == 0; });
+  Shutdown(/*drain=*/true);
   // pool_ (declared last) is destroyed first, joining the — now idle —
   // workers before any other member goes away.
+}
+
+void ConsolidationService::Shutdown(bool drain) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!draining_) {
+      draining_ = true;
+      // Submits blocked on a full backlog wake up and reject.
+      admission_cv_.notify_all();
+    }
+    if (!drain) return;
+    paused_ = false;
+    Pump();
+    // In-flight requests finish under their own deadlines; admitting_
+    // covers Submits past the admission check but still emitting their
+    // kAdmitted event outside the lock.
+    idle_cv_.wait(lock, [&] {
+      return active_.empty() && running_jobs_ == 0 && admitting_ == 0;
+    });
+    if (final_snapshot_done_) return;
+    final_snapshot_done_ = true;
+  }
+  // Final snapshot outside mutex_: ExportDurableState takes the broker
+  // mutex and WriteSnapshot fsyncs. The drain already completed, so no
+  // new state can race past the export.
+  if (persist_ != nullptr) {
+    broker_.SetDurabilityListener(nullptr);
+    (void)persist_->WriteSnapshot(broker_.ExportDurableState());
+    (void)persist_->Flush();
+  }
 }
 
 uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
@@ -240,10 +308,36 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
     std::unique_lock<std::mutex> lock(mutex_);
     // admitting_ reserves this request's backlog slot across the unlock
     // below, so concurrent Submits cannot all pass the check before any
-    // of them is counted — the bound holds under contention.
+    // of them is counted — the bound holds under contention. A drain
+    // releases every blocked Submit immediately: they reject below.
     admission_cv_.wait(lock, [&] {
-      return active_.size() + admitting_ < options_.max_pending_requests;
+      return draining_ ||
+             active_.size() + admitting_ < options_.max_pending_requests;
     });
+    if (draining_) {
+      // Shutdown began: never admit. The handle comes back pre-completed
+      // so the caller's usual Wait sees the typed status instead of a
+      // special return value; its stream (if any) is one kRequestDone.
+      request->id = next_id_++;
+      request->label = options.label.empty()
+                           ? "request-" + std::to_string(request->id)
+                           : std::move(options.label);
+      request->columns.clear();
+      request->results.clear();
+      request->status = RequestStatus::kShuttingDown;
+      request->done = true;
+      const uint64_t id = request->id;
+      requests_.emplace(id, std::move(owned));
+      retained_.push_back(id);
+      ReapRetained();
+      lock.unlock();
+      requests_rejected_->Increment();
+      ServeEvent rejected;
+      rejected.kind = ServeEvent::Kind::kRequestDone;
+      rejected.status = RequestStatus::kShuttingDown;
+      Emit(*request, std::move(rejected));
+      return id;
+    }
     ++admitting_;
     request->id = next_id_++;
     request->arrival = next_arrival_++;
@@ -353,6 +447,8 @@ ServiceStats ConsolidationService::stats() const {
   out.requests_deadline_exceeded = requests_deadline_exceeded_->Value();
   out.aged_grants = aged_grants_->Value();
   out.handles_reaped = handles_reaped_->Value();
+  out.requests_rejected = requests_rejected_->Value();
+  if (persist_ != nullptr) out.persist = persist_->stats();
   std::lock_guard<std::mutex> lock(mutex_);
   out.max_concurrent_requests = max_concurrent_requests_;
   return out;
@@ -366,6 +462,11 @@ void ConsolidationService::Pump() {
   if (paused_) return;
   size_t pending = 0;
   for (const Request* request : active_) {
+    // >= guards the subtraction: a finalizing request drops its working
+    // copies before leaving active_ (both under mutex_, but belt and
+    // braces against any future reordering — an underflow here would ask
+    // for ~2^64 jobs).
+    if (request->dispatched >= request->columns.size()) continue;
     pending += request->columns.size() - request->dispatched;
   }
   while (running_jobs_ < workers_ && pending > 0) {
@@ -385,7 +486,7 @@ bool ConsolidationService::PickJob(Request** request, size_t* column) {
   if (options_.aging_grant_threshold > 0) {
     Request* starved = nullptr;
     for (Request* candidate : active_) {
-      if (candidate->dispatched == candidate->columns.size()) continue;
+      if (candidate->dispatched >= candidate->columns.size()) continue;
       if (grant_seq_ - candidate->last_grant_seq <
           options_.aging_grant_threshold) {
         continue;
@@ -413,7 +514,7 @@ bool ConsolidationService::PickJob(Request** request, size_t* column) {
     Request* pick = nullptr;
     bool any_undispatched = false;
     for (Request* candidate : active_) {
-      if (candidate->dispatched == candidate->columns.size()) continue;
+      if (candidate->dispatched >= candidate->columns.size()) continue;
       any_undispatched = true;
       if (candidate->granted_cycle >= cycle_) continue;  // served this cycle
       if (pick == nullptr) {
@@ -573,13 +674,6 @@ void ConsolidationService::FinalizeRequest(Request* request) {
         "golden_records",
         static_cast<int64_t>(request->result.golden_records.size()));
   }
-  // The working copies are committed (or abandoned on error); drop them
-  // now instead of pinning a full table until Wait collects the handle.
-  request->columns.clear();
-  request->columns.shrink_to_fit();
-  request->results.clear();
-  request->results.shrink_to_fit();
-
   if (request->status == RequestStatus::kCancelled ||
       request->status == RequestStatus::kDeadlineExceeded) {
     ServeEvent cancelled;
@@ -616,23 +710,48 @@ void ConsolidationService::FinalizeRequest(Request* request) {
     request->trace->sink()->Emit(root);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  request->done = true;
-  completion_order_.push_back(request->id);
-  requests_completed_->Increment();
-  if (request->status == RequestStatus::kCancelled) {
-    requests_cancelled_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The working copies are committed (or abandoned on error); drop them
+    // now instead of pinning a full table until Wait collects the handle.
+    // Released under mutex_, NOT earlier: this request is still in
+    // active_, and PickJob/Pump distinguish "fully dispatched" from
+    // "hungry" by comparing dispatched against columns.size() — shrinking
+    // columns outside the lock made a finalizing request look like it had
+    // undispatched work, handing a worker an out-of-range column index.
+    request->columns.clear();
+    request->columns.shrink_to_fit();
+    request->results.clear();
+    request->results.shrink_to_fit();
+    request->done = true;
+    completion_order_.push_back(request->id);
+    requests_completed_->Increment();
+    if (request->status == RequestStatus::kCancelled) {
+      requests_cancelled_->Increment();
+    }
+    if (request->status == RequestStatus::kDeadlineExceeded) {
+      requests_deadline_exceeded_->Increment();
+    }
+    active_.erase(std::find(active_.begin(), active_.end(), request));
+    if (!request->waiting) {
+      retained_.push_back(request->id);
+      ReapRetained();
+    }
+    done_cv_.notify_all();
+    admission_cv_.notify_all();
+    // A zero-column request finalizes on the Submit thread with no worker
+    // exit to signal idleness — a draining Shutdown must still wake.
+    idle_cv_.notify_all();
   }
-  if (request->status == RequestStatus::kDeadlineExceeded) {
-    requests_deadline_exceeded_->Increment();
-  }
-  active_.erase(std::find(active_.begin(), active_.end(), request));
-  if (!request->waiting) {
-    retained_.push_back(request->id);
-    ReapRetained();
-  }
-  done_cv_.notify_all();
-  admission_cv_.notify_all();
+  MaybeCompact();
+}
+
+void ConsolidationService::MaybeCompact() {
+  if (persist_ == nullptr || !persist_->ShouldCompact()) return;
+  // Export (broker mutex) then write (persist mutex + fsync), with
+  // mutex_ NOT held: dispatch keeps flowing while the snapshot lands.
+  // Concurrent finalizes may both compact; the writes just serialize.
+  (void)persist_->WriteSnapshot(broker_.ExportDurableState());
 }
 
 void ConsolidationService::ReapRetained() {

@@ -51,6 +51,7 @@
 #include "grouping/search_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/durable_state.h"
 #include "pipeline/oracle_broker.h"
 #include "pipeline/retrying_oracle.h"
 
@@ -115,6 +116,18 @@ struct ServiceOptions {
   /// short-lived runs, unbounded for a service fronting careless
   /// clients).
   size_t max_retained_results = 0;
+  /// Directory for durable warm state (src/persist/): the broker's
+  /// verdict cache and approved log are WAL-logged as they grow,
+  /// snapshotted on compaction and shutdown, and recovered into the
+  /// broker before the service admits its first request. Empty (the
+  /// default) = fully volatile, the pre-persistence behavior. Recovery
+  /// never changes output bytes — warm state only skips backend calls
+  /// (the order-independence contract) — so a restarted service is
+  /// byte-identical to a cold one, just cheaper. The constructor throws
+  /// std::runtime_error if the directory's state is unreadably corrupt.
+  std::string persist_dir;
+  /// Fsync policy / compaction thresholds for persist_dir.
+  DurableState::Options persist;
 };
 
 /// One streamed service event. kVerdict events carry the broker's answer
@@ -228,6 +241,10 @@ struct ServiceStats {
   size_t aged_grants = 0;
   /// Completed-but-unwaited results reclaimed by the handle GC.
   size_t handles_reaped = 0;
+  /// Submits rejected with kShuttingDown after drain began.
+  size_t requests_rejected = 0;
+  /// Durability counters; all zero unless persist_dir is set.
+  PersistStats persist;
 };
 
 class ConsolidationService {
@@ -238,8 +255,8 @@ class ConsolidationService {
   /// serializes calls into it, so it need not be thread-safe.
   ConsolidationService(VerificationOracle* backend, ServiceOptions options);
 
-  /// Drains: resumes a paused service and blocks until every admitted
-  /// request completed.
+  /// Shutdown(true): resumes a paused service, blocks until every
+  /// admitted request completed, writes the final snapshot.
   ~ConsolidationService();
 
   ConsolidationService(const ConsolidationService&) = delete;
@@ -272,6 +289,17 @@ class ConsolidationService {
 
   /// Starts dispatch on a service constructed with start_paused.
   void Resume();
+
+  /// Begins shutdown: admission stops immediately — a Submit that arrives
+  /// (or was blocked on a full queue) after this returns a pre-completed
+  /// handle whose Wait yields status kShuttingDown — while every already-
+  /// admitted request keeps running under its existing deadline and its
+  /// Wait completes normally. With `drain` true (the default) the call
+  /// blocks until all in-flight requests finalized, then writes the final
+  /// snapshot (persist_dir) and syncs the WAL; with false it only flips
+  /// admission off and returns (the destructor still drains). Idempotent
+  /// and safe from any thread, including a signal-watcher.
+  void Shutdown(bool drain = true);
 
   /// Request handles in completion order — the observable the fairness
   /// policy is judged by.
@@ -352,6 +380,12 @@ class ConsolidationService {
   /// Requires mutex_. Reaps oldest completed-unwaited results past
   /// max_retained_results.
   void ReapRetained();
+  /// Snapshot + WAL reset when the WAL outgrew its compaction threshold.
+  /// Called at the tail of FinalizeRequest with NO lock held: it takes
+  /// the broker mutex (ExportDurableState), which the durability
+  /// listener path holds while appending — compacting from inside that
+  /// path would self-deadlock.
+  void MaybeCompact();
   /// options_.retry with the service's kRetried / kBreakerOpen event
   /// emission chained in front of any user callbacks.
   RetryingOracle::Options WireRetryOptions();
@@ -376,6 +410,10 @@ class ConsolidationService {
   std::unique_ptr<RetryingOracle> retrying_;
   OracleBroker broker_;
   SearchResultCache search_cache_;
+  /// Durable warm state (null without persist_dir). Declared after
+  /// broker_ so it is destroyed first — Shutdown detaches it as the
+  /// broker's listener before that happens.
+  std::unique_ptr<DurableState> persist_;
 
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;       // request completions
@@ -397,6 +435,10 @@ class ConsolidationService {
   int running_jobs_ = 0;
   int boost_tokens_ = 0;  // see per_job_threads_
   bool paused_ = false;
+  /// Set once by Shutdown; Submit rejects with kShuttingDown while set.
+  bool draining_ = false;
+  /// The final shutdown snapshot happens exactly once.
+  bool final_snapshot_done_ = false;
   /// High-water mark of concurrent requests (mutex_-guarded; exposed as
   /// a gauge by the registry collector).
   size_t max_concurrent_requests_ = 0;
@@ -418,6 +460,7 @@ class ConsolidationService {
   Counter* requests_deadline_exceeded_ = nullptr;
   Counter* aged_grants_ = nullptr;
   Counter* handles_reaped_ = nullptr;
+  Counter* requests_rejected_ = nullptr;
   /// Grouping work counters, folded in once per completed column job
   /// from its ColumnRunResult (the engines stay registry-free).
   Counter* grouping_searches_ = nullptr;

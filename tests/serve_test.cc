@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -756,6 +757,101 @@ TEST(ServiceObservabilityTest, EventsCarryMonotonicSeqAndTimestamps) {
       EXPECT_GE(seen.ts[i], seen.ts[i - 1]);
     }
   }
+}
+
+TEST(ServiceShutdownTest, DrainRejectsNewSubmitsButFinishesInFlight) {
+  // ISSUE 9 satellite: once Shutdown begins draining, a new Submit comes
+  // back immediately with the typed kShuttingDown status, while requests
+  // admitted before the drain complete normally with unchanged bytes.
+  const std::string baseline = SerialFingerprint(MakeTable("Drain", 1, 5));
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 1;
+  options.start_paused = true;  // both in-flight requests queue first
+  ApproveAllOracle oracle;
+  ConsolidationService service(&oracle, options);
+
+  Table in_flight_a = MakeTable("Drain", 1, 5);
+  Table in_flight_b = MakeTable("Drain", 1, 5);
+  const uint64_t handle_a = service.Submit(&in_flight_a);
+  const uint64_t handle_b = service.Submit(&in_flight_b);
+
+  service.Shutdown(/*drain=*/false);  // begin draining, don't block
+
+  // Rejected without blocking: the handle is pre-completed.
+  Table late = MakeTable("Late", 1, 4);
+  const uint64_t handle_late = service.Submit(&late);
+  RequestResult rejected = service.Wait(handle_late);
+  EXPECT_EQ(rejected.status, RequestStatus::kShuttingDown);
+  EXPECT_TRUE(rejected.golden_records.empty());
+  EXPECT_EQ(service.stats().requests_rejected, 1u);
+
+  // In-flight requests are unaffected by the drain: they complete with
+  // kOk and the same bytes as a serial run.
+  service.Resume();
+  RequestResult result_a = service.Wait(handle_a);
+  RequestResult result_b = service.Wait(handle_b);
+  EXPECT_EQ(result_a.status, RequestStatus::kOk);
+  EXPECT_EQ(result_b.status, RequestStatus::kOk);
+  EXPECT_EQ(FingerprintConsolidation(in_flight_a, result_a.golden_records),
+            baseline);
+  EXPECT_EQ(FingerprintConsolidation(in_flight_b, result_b.golden_records),
+            baseline);
+  service.Shutdown(/*drain=*/true);  // idempotent; already drained
+  EXPECT_EQ(service.stats().requests_completed, 2u);
+}
+
+TEST(ServiceShutdownTest, PersistedServiceWarmRestartsByteIdentical) {
+  // ISSUE 9 acceptance at test scope: a service with persist_dir set
+  // writes its warm state on shutdown; a second service over the same
+  // directory recovers it, produces byte-identical output, and makes
+  // strictly fewer (here: zero) backend calls.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("ustl_serve_persist_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  const std::string baseline = SerialFingerprint(MakeTable("Warm", 2, 6));
+
+  size_t cold_calls = 0;
+  {
+    ServiceOptions options;
+    options.framework = TestFramework();
+    options.persist_dir = dir;
+    ApproveAllOracle oracle;
+    ConsolidationService service(&oracle, options);
+    EXPECT_EQ(service.stats().persist.recovered_records, 0u);
+    Table table = MakeTable("Warm", 2, 6);
+    RequestResult result = service.Wait(service.Submit(&table));
+    EXPECT_EQ(result.status, RequestStatus::kOk);
+    EXPECT_EQ(FingerprintConsolidation(table, result.golden_records),
+              baseline);
+    cold_calls = service.stats().oracle.backend_calls;
+    EXPECT_GT(cold_calls, 0u);
+    EXPECT_GT(service.stats().persist.wal_appends, 0u);
+    // Destructor = Shutdown(true): drains and writes the final snapshot.
+  }
+  ASSERT_TRUE(fs::exists(dir + "/snapshot.bin"));
+
+  {
+    ServiceOptions options;
+    options.framework = TestFramework();
+    options.persist_dir = dir;
+    ApproveAllOracle oracle;
+    ConsolidationService service(&oracle, options);
+    EXPECT_GT(service.stats().persist.recovered_records, 0u);
+    Table table = MakeTable("Warm", 2, 6);
+    RequestResult result = service.Wait(service.Submit(&table));
+    EXPECT_EQ(result.status, RequestStatus::kOk);
+    // Byte-identical output from recovered state, zero backend traffic:
+    // warm state only ever skips questions, never changes answers.
+    EXPECT_EQ(FingerprintConsolidation(table, result.golden_records),
+              baseline);
+    EXPECT_EQ(service.stats().oracle.backend_calls, 0u);
+    EXPECT_LT(service.stats().oracle.backend_calls, cold_calls);
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -9,10 +9,10 @@
 #
 # A third leg builds the parallel subsystems under ThreadSanitizer
 # (-DUSTL_TSAN=ON) and runs parallel_test / grouping_test /
-# pipeline_test / serve_test / robustness_test — the wave scans, the
-# thread pool, the service and the retry/cancel machinery are only
-# honest if an instrumented run agrees. Set USTL_CHECK_SKIP_TSAN=1 to
-# skip it.
+# pipeline_test / serve_test / robustness_test / obs_test / persist_test
+# — the wave scans, the thread pool, the service, the retry/cancel
+# machinery and the WAL/snapshot layer are only honest if an
+# instrumented run agrees. Set USTL_CHECK_SKIP_TSAN=1 to skip it.
 set -eu
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
@@ -147,6 +147,64 @@ done
 grep -q "ustl_requests_completed_total" build/serve_metrics.prom
 echo "observability serve smoke: byte-identical + traces valid"
 
+# Crash-recovery byte-compare (ISSUE 9 acceptance): a persisted run must
+# match the serial baselines, a warm restart over the same directory must
+# recover a nonzero record count and still match, and a SIGKILL planted
+# mid-WAL-append (whole frame and torn mid-frame) must leave a directory
+# a restart recovers from — same bytes, no repair step. Recovery may
+# only ever skip oracle calls, never change output.
+rm -rf build/persist_smoke
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+  --persist-dir build/persist_smoke --fsync batch
+for t in a b c; do
+  cmp build/serve_$t.base.csv build/serve_$t.out.csv
+done
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+  --persist-dir build/persist_smoke --fsync batch \
+  --metrics-out build/persist_metrics.prom
+for t in a b c; do
+  cmp build/serve_$t.base.csv build/serve_$t.out.csv
+done
+awk '$1 == "ustl_persist_recovered_records" && $2 + 0 > 0 { found = 1 }
+     END { exit !found }' build/persist_metrics.prom
+for crash_point in wal_append:5 wal_mid_record:9; do
+  rm -rf build/persist_smoke
+  if ./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+      --persist-dir build/persist_smoke --fsync always \
+      --crash-point "$crash_point"; then
+    echo "crash point $crash_point never fired"
+    exit 1
+  fi
+  ./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+    --persist-dir build/persist_smoke --fsync batch \
+    --metrics-out build/persist_metrics.prom
+  for t in a b c; do
+    cmp build/serve_$t.base.csv build/serve_$t.out.csv
+  done
+  awk '$1 == "ustl_persist_recovered_records" && $2 + 0 > 0 { found = 1 }
+       END { exit !found }' build/persist_metrics.prom
+done
+echo "crash-recovery serve smoke: kill-tested, byte-identical"
+
+# Graceful drain (ISSUE 9 acceptance): SIGTERM mid-workload must exit 0
+# after finishing in-flight requests, and still flush the final metrics
+# scrape and snapshot. || true on the kill: if the workload finished
+# first the process is gone, and a clean normal exit is also acceptable.
+rm -rf build/persist_smoke
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 --repeat 8 \
+  --persist-dir build/persist_smoke --fsync batch \
+  --metrics-out build/drain_metrics.prom &
+serve_pid=$!
+sleep 1
+kill -TERM "$serve_pid" 2>/dev/null || true
+if wait "$serve_pid"; then :; else
+  echo "graceful drain exited nonzero"
+  exit 1
+fi
+grep -q "ustl_requests_completed_total" build/drain_metrics.prom
+test -f build/persist_smoke/snapshot.bin
+echo "graceful drain smoke: clean exit + final snapshot"
+
 # Perf-regression gate (ISSUE 6 + ISSUE 7 acceptance): rerun the
 # self-checking micro-kernel suite plus the robustness legs and gate
 # their hardware-independent metrics (speedup_vs_seed, compression_ratio,
@@ -163,9 +221,9 @@ fi
 if [ "${USTL_CHECK_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DUSTL_TSAN=ON
   cmake --build build-tsan -j"$JOBS" --target parallel_test grouping_test \
-    pipeline_test serve_test robustness_test obs_test
+    pipeline_test serve_test robustness_test obs_test persist_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "parallel_test|grouping_test|pipeline_test|serve_test|robustness_test|obs_test")
+    -R "parallel_test|grouping_test|pipeline_test|serve_test|robustness_test|obs_test|persist_test")
 fi
 
 if [ "${USTL_CHECK_SKIP_DEBUG:-0}" != "1" ]; then

@@ -80,6 +80,17 @@ GATES = {
         ("spans", "nonzero", None),
         ("byte_identical", "nonzero", None),
     ],
+    # Durability (ISSUE 9): the WAL + snapshot layer (fsync=batch) must
+    # cost <= 5% over the plain service (best-of-5 minima; fsyncs are
+    # real I/O, hence the wider ceiling than the in-process legs), a warm
+    # restart must recover a nonzero record count and strictly cut
+    # backend calls, and persisted output must stay byte-identical.
+    ("robustness_serve", "persist_overhead"): [
+        ("overhead_ratio", "exact_max", 1.05),
+        ("recovered_records", "nonzero", None),
+        ("warm_call_savings", "nonzero", None),
+        ("byte_identical", "nonzero", None),
+    ],
 }
 
 

@@ -38,8 +38,22 @@
 // snapshot, single write). --trace-out FILE appends one JSON line per
 // trace span for every request (span schema in obs/trace.h). Both are
 // write-only taps: output CSVs stay byte-identical with them on or off.
+// Durability (persist/): --persist-dir DIR makes the service's warm
+// state (verdict cache + approved log) crash-safe — WAL-logged as it
+// grows, snapshotted at shutdown, recovered on the next start, so a
+// restarted server skips the oracle calls it already paid for while
+// producing byte-identical outputs. --fsync picks the WAL durability
+// policy. SIGTERM/SIGINT trigger a graceful drain: in-flight tables
+// finish and are written, new submits are rejected with a typed
+// shutting_down status, the final snapshot and metrics scrape land
+// atomically, and the process exits 0. --crash-point kind:N arms a
+// kill-test failpoint (see persist/crash_point.h) that SIGKILLs the
+// process at an exact WAL/snapshot write boundary — the crash-recovery
+// CI leg uses it to prove recovery.
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,6 +68,8 @@
 #include "consolidate/oracle.h"
 #include "io/csv.h"
 #include "obs/trace.h"
+#include "persist/crash_point.h"
+#include "persist/snapshot.h"
 #include "pipeline/fault_oracle.h"
 #include "serve/service.h"
 
@@ -86,6 +102,51 @@ struct Args {
   std::string metrics_out;    // metrics snapshot file; empty = no scrape
   std::string trace_out;      // JSON-lines span file; empty = untraced
   int64_t metrics_interval_ms = 0;  // periodic scrape; 0 = exit-only
+  std::string persist_dir;    // durable warm state dir; empty = volatile
+  std::string fsync = "batch";      // WAL policy: none|batch|always
+  std::string crash_point;    // kill-test failpoint spec; empty = off
+};
+
+// Set by the SIGTERM/SIGINT handler (an atomic store is async-signal-
+// safe); polled by the shutdown watcher and the round loop.
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+// Polls g_shutdown every ~25ms on a background thread and, once set,
+// initiates the service drain (Shutdown blocks until in-flight requests
+// finalized and the final snapshot landed). RAII like PeriodicScraper;
+// destroyed before the service it watches.
+class ShutdownWatcher {
+ public:
+  explicit ShutdownWatcher(ConsolidationService* service) {
+    thread_ = std::thread([this, service] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(25),
+                           [this] { return done_; })) {
+        if (g_shutdown.load(std::memory_order_relaxed)) {
+          lock.unlock();
+          service->Shutdown(/*drain=*/true);
+          return;
+        }
+      }
+    });
+  }
+
+  ~ShutdownWatcher() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
 };
 
 void Usage() {
@@ -114,6 +175,21 @@ void Usage() {
       "                  [--trace-out FILE (append one JSON line per trace\n"
       "                   span; observability only — output CSVs are\n"
       "                   byte-identical traced or not)]\n"
+      "                  [--persist-dir DIR (durable warm state: verdict\n"
+      "                   cache + approved log WAL-logged and snapshotted\n"
+      "                   under DIR, recovered on the next start; outputs\n"
+      "                   stay byte-identical — recovery only skips oracle\n"
+      "                   calls)]\n"
+      "                  [--fsync none|batch|always (default: batch; WAL\n"
+      "                   durability policy for --persist-dir)]\n"
+      "                  [--crash-point KIND:N (kill-test failpoint:\n"
+      "                   SIGKILL the process at the N-th wal_append /\n"
+      "                   wal_mid_record / snapshot_temp / snapshot_rename;\n"
+      "                   testing only)]\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully: in-flight tables finish and are\n"
+      "written, new submits are rejected with status shutting_down, the\n"
+      "final snapshot and metrics scrape land atomically, exit code 0.\n"
       "\n"
       "Runs a manifest of tables concurrently through one long-lived\n"
       "consolidation service; per-table output is byte-identical to a\n"
@@ -365,6 +441,12 @@ int main(int argc, char** argv) {
           std::strtoll(next("--metrics-interval-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       args.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--persist-dir") == 0) {
+      args.persist_dir = next("--persist-dir");
+    } else if (std::strcmp(argv[i], "--fsync") == 0) {
+      args.fsync = next("--fsync");
+    } else if (std::strcmp(argv[i], "--crash-point") == 0) {
+      args.crash_point = next("--crash-point");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -404,6 +486,16 @@ int main(int argc, char** argv) {
 
   ServiceOptions service_options;
   service_options.num_threads = args.threads;
+  if (!args.persist_dir.empty()) {
+    service_options.persist_dir = args.persist_dir;
+    Result<FsyncPolicy> policy = ParseFsyncPolicy(args.fsync);
+    if (!policy.ok()) return Fail(policy.status());
+    service_options.persist.fsync = *policy;
+  }
+  if (!args.crash_point.empty()) {
+    Status armed = CrashPoint::ArmFromSpec(args.crash_point);
+    if (!armed.ok()) return Fail(armed);
+  }
   service_options.broker.cache_verdicts = args.oracle_cache == "on";
   service_options.broker.max_cache_entries = args.max_cache_entries;
   service_options.share_search_cache = args.search_cache == "on";
@@ -427,9 +519,35 @@ int main(int argc, char** argv) {
     service_options.enable_retry = true;
     service_options.retry.max_attempts = args.retry_attempts;
   }
-  ConsolidationService service(oracle, service_options);
+  std::unique_ptr<ConsolidationService> service_ptr;
+  try {
+    service_ptr =
+        std::make_unique<ConsolidationService>(oracle, service_options);
+  } catch (const std::exception& e) {
+    // Unreadably corrupt persist state: refuse to serve with silently
+    // partial warm state (wipe the dir or fix the files to proceed).
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  ConsolidationService& service = *service_ptr;
   std::printf("serving %zu table(s) x %zu round(s) on %d worker(s)\n",
               entries->size(), args.repeat, service.workers());
+  if (!args.persist_dir.empty()) {
+    const PersistStats persist = service.stats().persist;
+    std::printf("{\"persist\": \"%s\", \"fsync\": \"%s\", "
+                "\"recovered_records\": %llu, "
+                "\"truncated_tail_bytes\": %llu}\n",
+                JsonEscape(args.persist_dir).c_str(), args.fsync.c_str(),
+                static_cast<unsigned long long>(persist.recovered_records),
+                static_cast<unsigned long long>(persist.truncated_tail_bytes));
+  }
+
+  // Graceful drain on SIGTERM/SIGINT: the watcher initiates Shutdown
+  // (in-flight requests finish; new submits reject) and the round loop
+  // breaks at its next boundary.
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  auto watcher = std::make_unique<ShutdownWatcher>(&service);
 
   // Observability taps. The trace sink appends one JSON line per span as
   // requests finish spans; the metrics scrape snapshots the registry —
@@ -451,7 +569,9 @@ int main(int argc, char** argv) {
                       path.compare(path.size() - 5, 5, ".json") == 0;
     const std::string body =
         json ? service.metrics().WriteJson() : service.metrics().WriteText();
-    Status status = WriteStringToFile(path, body);
+    // Write-temp-rename: a reader (or a crash) never sees a truncated
+    // scrape under the published name.
+    Status status = WriteFileAtomic(path, body);
     if (!status.ok()) {
       std::fprintf(stderr, "metrics scrape: %s\n",
                    status.ToString().c_str());
@@ -538,9 +658,20 @@ int main(int argc, char** argv) {
         now.requests_cancelled - previous.requests_cancelled,
         now.requests_deadline_exceeded - previous.requests_deadline_exceeded);
     previous = now;
+
+    if (g_shutdown.load(std::memory_order_relaxed)) {
+      std::printf("{\"shutdown\": \"graceful\", \"rounds_completed\": %zu}\n",
+                  round);
+      break;
+    }
   }
 
-  scraper.reset();  // stop the periodic thread before the final snapshot
+  // Join the watcher first (a drain it started completes before the
+  // join returns), then make sure the final snapshot has landed —
+  // Shutdown is idempotent — so the exit scrape below reports it.
+  watcher.reset();
+  service.Shutdown(/*drain=*/true);
+  scraper.reset();  // stop the periodic thread before the final scrape
   if (!args.metrics_out.empty()) scrape_metrics();
   if (trace_stream) trace_stream->flush();
   return 0;
