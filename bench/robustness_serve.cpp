@@ -17,13 +17,26 @@
 //     (zero-fault plan, far-future deadline) vs. the plain service:
 //     throughput overhead must stay within 2% (best-of-5 alternating
 //     timing — the minimum filters scheduler noise);
-//   * obs_overhead — full observability armed (a per-request trace sink
-//     that formats every span, plus an in-process metrics scrape) vs.
-//     the untraced service: overhead must stay within 2% and output
-//     byte-identical (the ISSUE 8 zero-perturbation gate). The sink is
-//     CountingTraceSink — it pays the full JSON formatting cost and
-//     discards the bytes, so the measurement prices emission honestly
-//     without timing the filesystem;
+//   * obs_overhead — prices the full diagnosis kit (per-span JSON
+//     formatting, flight-recorder ring insertion, CPU-attributed
+//     profile folding, plus an in-process metrics scrape) against the
+//     production-default service; the ratio must stay within 2% and
+//     output byte-identical. The marginal cost is measured directly
+//     rather than as an end-to-end A/B difference: one single-worker
+//     run (deterministic span volume) captures the exact span stream,
+//     timed replay passes push that stream through the armed sinks
+//     under a process-CPU clock, and the gate ratio is
+//     (baseline_cpu + obs_cpu) / baseline_cpu. An A/B ratio of two
+//     full runs puts host frequency noise (several percent on a
+//     shared one-core CI box) on both large terms and cannot resolve
+//     a 2% ceiling; replay noise only perturbs a term that is itself
+//     well under 2%, so the gate is stable. A fully armed run still
+//     executes end-to-end — byte-identity and the recorder_spans /
+//     profile_folded sub-metrics come from it, proving ring insertion
+//     and folding ran for real. The replay re-prices ring insertion
+//     even though the always-on recorder already pays it in the
+//     baseline — deliberate over-counting, so the ceiling covers the
+//     always-on paths too;
 //   * persist_overhead — the durability layer armed (persist_dir set,
 //     fsync=batch, every verdict WAL-logged, final snapshot on drain)
 //     vs. the plain service: overhead must stay within 10% and output
@@ -33,14 +46,20 @@
 //     measured on its happy path).
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "pipeline/fault_oracle.h"
 #include "pipeline/pipeline.h"
@@ -142,6 +161,81 @@ double RunWorkload(const Workload& workload, VerificationOracle* oracle,
   if (byte_identical != nullptr) *byte_identical = identical;
   if (stats != nullptr) *stats = service.stats();
   return seconds;
+}
+
+double ProcessCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec + ts.tv_nsec * 1e-9;
+}
+
+// Collects the raw span stream of a run so the obs_overhead leg can
+// replay the exact production-shaped spans through the armed sinks.
+class CaptureTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceSpan& span) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(span);
+  }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+struct ObsRun {
+  double cpu = 0.0;         // process-CPU seconds for the workload
+  double scrape_cpu = 0.0;  // process-CPU seconds for the registry scrape
+  bool byte_identical = false;
+  uint64_t recorder_spans = 0;
+  uint64_t profile_folded = 0;
+};
+
+// One obs_overhead workload pass through a single-worker service (the
+// span volume is then deterministic run to run). The flight recorder
+// rides along in every configuration — it is the production default;
+// `armed` additionally enables the profile accumulator and prices a
+// registry scrape. Counters are read after the clock stops.
+ObsRun RunObsWorkload(const Workload& workload, bool armed,
+                      TraceSink* request_sink) {
+  ApproveAllOracle oracle;
+  ServiceOptions options;
+  options.framework = BenchFramework();
+  options.num_threads = 1;
+  options.enable_profiler = armed;
+  ConsolidationService service(&oracle, options);
+  std::vector<Table> tables = workload.tables;
+  std::vector<uint64_t> handles;
+  ObsRun run;
+  const double cpu_start = ProcessCpuSeconds();
+  for (Table& table : tables) {
+    RequestOptions request;
+    request.trace_sink = request_sink;
+    handles.push_back(service.Submit(&table, std::move(request)));
+  }
+  bool identical = true;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    RequestResult result = service.Wait(handles[t]);
+    identical = identical && result.status == RequestStatus::kOk &&
+                FingerprintConsolidation(tables[t], result.golden_records) ==
+                    workload.baselines[t];
+  }
+  run.cpu = ProcessCpuSeconds() - cpu_start;
+  if (armed) {
+    const double scrape_start = ProcessCpuSeconds();
+    const size_t scraped = service.metrics().WriteText().size();
+    run.scrape_cpu = ProcessCpuSeconds() - scrape_start;
+    identical = identical && scraped > 0;
+  }
+  run.byte_identical = identical;
+  if (service.flight_recorder() != nullptr) {
+    run.recorder_spans = service.flight_recorder()->recorded();
+  }
+  if (service.profiler() != nullptr) {
+    run.profile_folded = service.profiler()->folded_spans();
+  }
+  return run;
 }
 
 }  // namespace
@@ -277,42 +371,69 @@ int main() {
            plain_best, armed_best, armed_best / plain_best);
   }
 
-  // --- obs_overhead: tracing + metrics scrape armed vs. untraced.
+  // --- obs_overhead: price the armed diagnosis paths against the
+  // production default (flight recorder on in both — always-on by
+  // design). See the header comment for why the marginal cost is
+  // measured by replaying the captured span stream instead of by an
+  // end-to-end A/B ratio.
   {
-    double untraced_best = 0.0;
-    double traced_best = 0.0;
-    unsigned long long spans = 0;
-    for (int rep = 0; rep < 5; ++rep) {
-      ApproveAllOracle untraced_backend;
-      ServiceOptions untraced_options;
-      const double untraced = RunWorkload(workload, &untraced_backend,
-                                          untraced_options, 0, nullptr,
-                                          nullptr);
-      if (untraced_best == 0.0 || untraced < untraced_best) {
-        untraced_best = untraced;
-      }
-
-      ApproveAllOracle traced_backend;
-      ServiceOptions traced_options;
-      CountingTraceSink sink;
-      bool byte_identical = false;
-      size_t scraped = 0;
-      const double traced =
-          RunWorkload(workload, &traced_backend, traced_options, 0,
-                      &byte_identical, nullptr, &sink, &scraped);
-      if (traced_best == 0.0 || traced < traced_best) traced_best = traced;
-      spans = static_cast<unsigned long long>(sink.count());
-      if (!byte_identical || scraped == 0) {
-        printf("{\"bench\": \"robustness_serve\", \"variant\": "
-               "\"obs_overhead\", \"error\": \"not byte-identical\"}\n");
+    const auto fail = [] {
+      printf("{\"bench\": \"robustness_serve\", \"variant\": "
+             "\"obs_overhead\", \"error\": \"not byte-identical\"}\n");
+    };
+    // Production-default CPU: best of 7 single-worker reps.
+    double baseline_cpu = 0.0;
+    for (int rep = 0; rep < 7; ++rep) {
+      const ObsRun run = RunObsWorkload(workload, false, nullptr);
+      if (!run.byte_identical) {
+        fail();
         return 1;
       }
+      if (baseline_cpu == 0.0 || run.cpu < baseline_cpu) {
+        baseline_cpu = run.cpu;
+      }
     }
+    // Capture the span stream once (single worker, so the stream is the
+    // one every rep above generated for the recorder).
+    CaptureTraceSink capture;
+    if (!RunObsWorkload(workload, false, &capture).byte_identical) {
+      fail();
+      return 1;
+    }
+    // Fully armed run, end-to-end: byte-identity under the whole kit,
+    // plus proof that ring insertion and profile folding really ran.
+    CountingTraceSink counting;
+    const ObsRun armed = RunObsWorkload(workload, true, &counting);
+    if (!armed.byte_identical) {
+      fail();
+      return 1;
+    }
+    // Price formatting + ring insertion + folding by replaying the
+    // captured stream through fresh sinks; best of 5 passes.
+    double replay_cpu = 0.0;
+    for (int pass = 0; pass < 5; ++pass) {
+      CountingTraceSink sink;
+      FlightRecorder recorder;
+      ProfileAccumulator profiler;
+      const double cpu_start = ProcessCpuSeconds();
+      for (const TraceSpan& span : capture.spans()) {
+        sink.Emit(span);
+        recorder.Emit(span);
+        profiler.Emit(span);
+      }
+      const double cpu = ProcessCpuSeconds() - cpu_start;
+      if (replay_cpu == 0.0 || cpu < replay_cpu) replay_cpu = cpu;
+    }
+    const double obs_cpu = replay_cpu + armed.scrape_cpu;
     printf("{\"bench\": \"robustness_serve\", \"variant\": \"obs_overhead\", "
-           "\"untraced_seconds\": %.4f, \"traced_seconds\": %.4f, "
+           "\"baseline_cpu_seconds\": %.4f, \"obs_cpu_seconds\": %.6f, "
            "\"overhead_ratio\": %.4f, \"spans\": %llu, "
+           "\"recorder_spans\": %llu, \"profile_folded\": %llu, "
            "\"byte_identical\": true}\n",
-           untraced_best, traced_best, traced_best / untraced_best, spans);
+           baseline_cpu, obs_cpu, (baseline_cpu + obs_cpu) / baseline_cpu,
+           static_cast<unsigned long long>(counting.count()),
+           static_cast<unsigned long long>(armed.recorder_spans),
+           static_cast<unsigned long long>(armed.profile_folded));
   }
 
   // --- persist_overhead: WAL + snapshot armed vs. the plain service,

@@ -10,6 +10,10 @@
 #include <chrono>
 #include <cstdint>
 
+#if defined(__linux__)
+#include <time.h>
+#endif
+
 namespace ustl {
 
 using SteadyClock = std::chrono::steady_clock;
@@ -30,6 +34,25 @@ inline int64_t MicrosSince(SteadyClock::time_point from) {
 
 inline double MicrosToSeconds(int64_t micros) {
   return static_cast<double>(micros) / 1e6;
+}
+
+/// CPU time consumed by the *calling thread*, in microseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Used by the observability layer to
+/// attribute wall-vs-CPU divergence per span: a span whose cpu_us is far
+/// below its wall interval sat in a queue or on I/O rather than running
+/// hot. Deltas are only meaningful within one thread — ScopedSpan reads
+/// it at open and close on the same thread and never ships the raw
+/// value across threads. Returns 0 where the clock is unavailable, so
+/// callers need no platform branches (cpu_us then reads as "unknown").
+inline int64_t ThreadCpuMicros() {
+#if defined(__linux__)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace ustl

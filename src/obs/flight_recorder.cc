@@ -1,0 +1,63 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace ustl {
+
+void FlightRecorder::Emit(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[seq_ % capacity_] = span;
+  ++seq_;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::vector<TraceSpan> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  const size_t count = seq_ < capacity_ ? seq_ : capacity_;
+  out.reserve(count);
+  const size_t start = seq_ < capacity_ ? 0 : seq_ % capacity_;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson(const std::string& reason,
+                                     int64_t dumped_us,
+                                     const std::string& context_json) const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"flight_recorder\": {\"reason\": \"";
+  // Reasons are internal identifiers (stall, deadline_exceeded, error,
+  // drain_timeout) — escape defensively anyway.
+  for (char c : reason) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\", \"dumped_us\": ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(dumped_us));
+  out += buf;
+  out += ", \"capacity\": ";
+  std::snprintf(buf, sizeof(buf), "%zu", capacity_);
+  out += buf;
+  out += ", \"recorded\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(recorded()));
+  out += buf;
+  out += ", \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += FormatTraceSpanJson(spans[i]);
+  }
+  out += "], \"context\": ";
+  out += context_json.empty() ? "{}" : context_json;
+  out += "}}";
+  return out;
+}
+
+}  // namespace ustl

@@ -1,0 +1,60 @@
+// Slow-request flight recorder (ISSUE 10): a fixed-size ring of the most
+// recently closed spans and point events, always on, so that a request
+// that stalls mid-column, blows its deadline, errors out or hangs a
+// drain leaves post-hoc trace evidence with zero pre-arming. The ring is
+// the only storage — cost per span is one mutex acquire and one slot
+// copy, priced by the obs_overhead bench leg with the recorder enabled.
+//
+// The recorder never initiates its own dump: the service's watchdog (or
+// its FinalizeRequest/Shutdown paths) decides *when* and supplies the
+// per-request progress context (columns dispatched/done, broker pending,
+// retry/breaker state); DumpJson renders ring + context as one JSON
+// object whose schema tools/check_trace.py --flight validates.
+#ifndef USTL_OBS_FLIGHT_RECORDER_H_
+#define USTL_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ustl {
+
+class FlightRecorder : public TraceSink {
+ public:
+  explicit FlightRecorder(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  /// Stores the span in the ring, overwriting the oldest slot once full.
+  void Emit(const TraceSpan& span) override;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t recorded() const;
+
+  /// Oldest-to-newest snapshot of the ring contents.
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Renders the dump object:
+  ///   {"flight_recorder": {"reason": .., "dumped_us": ..,
+  ///    "capacity": .., "recorded": .., "spans": [span objects...],
+  ///    "context": <context_json or {}>}}
+  /// `context_json` must be a complete JSON value (the service passes an
+  /// object with per-request progress and subsystem state) — it is
+  /// embedded verbatim.
+  std::string DumpJson(const std::string& reason, int64_t dumped_us,
+                       const std::string& context_json) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  uint64_t seq_ = 0;  // total spans ever recorded; ring slot = seq % cap
+};
+
+}  // namespace ustl
+
+#endif  // USTL_OBS_FLIGHT_RECORDER_H_

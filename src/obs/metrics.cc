@@ -2,6 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 namespace ustl {
 
@@ -130,12 +136,39 @@ Counter* MetricsRegistry::RegisterCounter(const std::string& name,
 
 Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
                                       const std::string& help) {
+  return RegisterGauge(name, help, {});
+}
+
+Gauge* MetricsRegistry::RegisterGauge(
+    const std::string& name, const std::string& help,
+    std::vector<std::pair<std::string, std::string>> labels) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (Entry* existing = Find(name, Kind::kGauge)) return existing->gauge.get();
   auto entry = std::unique_ptr<Entry>(new Entry());
   entry->kind = Kind::kGauge;
   entry->name = name;
   entry->help = help;
+  if (!labels.empty()) {
+    entry->label_suffix = "{";
+    bool first = true;
+    for (const auto& label : labels) {
+      if (!first) entry->label_suffix += ",";
+      first = false;
+      entry->label_suffix += label.first + "=\"";
+      // Prometheus label-value escaping: backslash, quote, newline.
+      for (char c : label.second) {
+        if (c == '\\' || c == '"') entry->label_suffix.push_back('\\');
+        if (c == '\n') {
+          entry->label_suffix += "\\n";
+        } else {
+          entry->label_suffix.push_back(c);
+        }
+      }
+      entry->label_suffix += "\"";
+    }
+    entry->label_suffix += "}";
+  }
+  entry->labels = std::move(labels);
   entry->gauge.reset(new Gauge());
   Gauge* handle = entry->gauge.get();
   index_[name] = entries_.size();
@@ -192,7 +225,7 @@ std::string MetricsRegistry::WriteText() const {
         out += "# TYPE " + entry->name + " gauge\n";
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(entry->gauge->Value()));
-        out += entry->name + " " + buf + "\n";
+        out += entry->name + entry->label_suffix + " " + buf + "\n";
         break;
       }
       case Kind::kHistogram: {
@@ -248,7 +281,20 @@ std::string MetricsRegistry::WriteJson() const {
       case Kind::kGauge:
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(entry->gauge->Value()));
-        out += ", \"type\": \"gauge\", \"value\": ";
+        out += ", \"type\": \"gauge\"";
+        if (!entry->labels.empty()) {
+          out += ", \"labels\": {";
+          bool first_label = true;
+          for (const auto& label : entry->labels) {
+            if (!first_label) out += ", ";
+            first_label = false;
+            AppendJsonString(&out, label.first);
+            out += ": ";
+            AppendJsonString(&out, label.second);
+          }
+          out += "}";
+        }
+        out += ", \"value\": ";
         out += buf;
         break;
       case Kind::kHistogram: {
@@ -286,6 +332,122 @@ std::string MetricsRegistry::WriteJson() const {
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+// /proc/self readings, refreshed by the process collector at scrape
+// time. All three return 0 off Linux (and on any read failure), so the
+// gauges render as 0 rather than making registration conditional.
+int64_t ReadRssBytes() {
+#if defined(__linux__)
+  FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  long long total_pages = 0;
+  long long rss_pages = 0;
+  const int parsed = std::fscanf(file, "%lld %lld", &total_pages, &rss_pages);
+  std::fclose(file);
+  if (parsed != 2) return 0;
+  return static_cast<int64_t>(rss_pages) * sysconf(_SC_PAGESIZE);
+#else
+  return 0;
+#endif
+}
+
+int64_t ReadCpuSeconds() {
+#if defined(__linux__)
+  FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return 0;
+  char buffer[1024];
+  const size_t len = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  buffer[len] = '\0';
+  // Field 2 (comm) may contain spaces; skip past its closing paren, then
+  // utime/stime are fields 14/15 (1-based), i.e. 11 fields after state.
+  const char* cursor = std::strrchr(buffer, ')');
+  if (cursor == nullptr) return 0;
+  ++cursor;
+  long long utime = 0;
+  long long stime = 0;
+  int field = 2;  // just consumed pid + comm
+  while (*cursor != '\0' && field < 15) {
+    while (*cursor == ' ') ++cursor;
+    ++field;
+    if (field == 14) {
+      utime = std::atoll(cursor);
+    } else if (field == 15) {
+      stime = std::atoll(cursor);
+    }
+    while (*cursor != '\0' && *cursor != ' ') ++cursor;
+  }
+  const long ticks = sysconf(_SC_CLK_TCK);
+  if (ticks <= 0) return 0;
+  return (utime + stime) / ticks;
+#else
+  return 0;
+#endif
+}
+
+int64_t ReadOpenFds() {
+#if defined(__linux__)
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  int64_t count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  closedir(dir);
+  // Exclude the directory stream's own descriptor.
+  return count > 0 ? count - 1 : 0;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::string BuildCompilerString() {
+  char compiler[64];
+#if defined(__clang__)
+  std::snprintf(compiler, sizeof(compiler), "clang %d.%d.%d", __clang_major__,
+                __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::snprintf(compiler, sizeof(compiler), "gcc %d.%d.%d", __GNUC__,
+                __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  std::snprintf(compiler, sizeof(compiler), "unknown");
+#endif
+  return compiler;
+}
+
+const char* BuildTypeString() {
+#if defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+void RegisterProcessMetrics(MetricsRegistry* registry) {
+  Gauge* rss = registry->RegisterGauge(
+      "ustl_process_rss_bytes", "Resident set size from /proc/self/statm.");
+  Gauge* cpu = registry->RegisterGauge(
+      "ustl_process_cpu_seconds_total",
+      "Whole seconds of user+system CPU from /proc/self/stat.");
+  Gauge* fds = registry->RegisterGauge(
+      "ustl_process_open_fds",
+      "Open file descriptors counted in /proc/self/fd.");
+  Gauge* build_info = registry->RegisterGauge(
+      "ustl_build_info",
+      "Constant 1; compiler/build_type labels match the bench "
+      "environment JSON.",
+      {{"compiler", BuildCompilerString()}, {"build_type", BuildTypeString()}});
+  build_info->Set(1);
+  registry->AddCollector([rss, cpu, fds] {
+    rss->Set(ReadRssBytes());
+    cpu->Set(ReadCpuSeconds());
+    fds->Set(ReadOpenFds());
+  });
 }
 
 }  // namespace ustl

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ustl {
@@ -130,6 +131,13 @@ class MetricsRegistry {
   /// handles never do. Handles stay valid for the registry's lifetime.
   Counter* RegisterCounter(const std::string& name, const std::string& help);
   Gauge* RegisterGauge(const std::string& name, const std::string& help);
+  /// Gauge with constant labels (rendered as `name{k="v",...} value` in
+  /// the text exposition, a "labels" object in JSON). Labels are fixed at
+  /// registration — the registry has no dynamic label sets by design
+  /// (deterministic exposition) — which fits info-style metrics such as
+  /// ustl_build_info. Idempotency keys on the bare name.
+  Gauge* RegisterGauge(const std::string& name, const std::string& help,
+                       std::vector<std::pair<std::string, std::string>> labels);
   Histogram* RegisterHistogram(const std::string& name,
                                const std::string& help,
                                std::vector<int64_t> upper_bounds);
@@ -150,6 +158,8 @@ class MetricsRegistry {
     Kind kind;
     std::string name;
     std::string help;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::string label_suffix;  // pre-rendered {k="v",...} or empty
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
@@ -164,6 +174,21 @@ class MetricsRegistry {
   std::unordered_map<std::string, size_t> index_;
   std::vector<std::function<void()>> collectors_;
 };
+
+/// Registers the process-level gauges (`ustl_process_rss_bytes`,
+/// `ustl_process_cpu_seconds_total`, `ustl_process_open_fds` — read from
+/// /proc/self, 0 off Linux) plus a constant `ustl_build_info` gauge whose
+/// compiler/build-type labels match the bench environment JSON, and one
+/// collector that refreshes the /proc readings at scrape time.
+/// Idempotent per registry.
+void RegisterProcessMetrics(MetricsRegistry* registry);
+
+/// Toolchain attribution strings, formatted exactly like the bench
+/// environment JSON line (bench_util.h) so scrapes and recorded
+/// trajectories agree: "gcc 12.2.0" / "clang 15.0.7" / "unknown", and
+/// "Release"/"Debug" from NDEBUG.
+std::string BuildCompilerString();
+const char* BuildTypeString();
 
 }  // namespace ustl
 

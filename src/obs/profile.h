@@ -1,0 +1,102 @@
+// CPU-attributed profiling over the span stream (ISSUE 10). A
+// ProfileAccumulator is a TraceSink that folds closed spans into a
+// per-path inclusive/exclusive table: the path is the span-name chain
+// from the request root (`request;column;search_wave`), inclusive time
+// is the span's own wall/CPU interval, and exclusive ("self") time is
+// inclusive minus the children's inclusive time — the classic profile
+// split that makes wall-vs-CPU divergence (queueing, fsync stalls,
+// oracle latency) visible per stage without reading raw traces.
+//
+// Folding works with the stack's emission order (children close before
+// parents — RAII): spans buffer per request id until a root (parent 0)
+// closes, then the subtree reachable from that root folds into the
+// table in one pass and leaves the buffer. Point events (start == end)
+// fold like any other span with zero duration, so their counts appear
+// in the table too. The accumulator never feeds a decision — it is
+// write-only observability under the repo's zero-perturbation contract.
+//
+// Outputs: Table()/TotalsByName() for registry gauges, WriteJson() for
+// `ustl-serve --profile-out`, and WriteFolded() — collapsed-stack text
+// ("path;seg;seg value" lines, self wall µs) consumable by
+// flamegraph.pl or speedscope directly.
+#ifndef USTL_OBS_PROFILE_H_
+#define USTL_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ustl {
+
+class ProfileAccumulator : public TraceSink {
+ public:
+  /// One row of the profile table, keyed by ';'-joined span path.
+  struct Entry {
+    uint64_t count = 0;
+    int64_t wall_us = 0;       // inclusive wall time
+    int64_t self_wall_us = 0;  // wall minus children's inclusive wall
+    int64_t cpu_us = 0;        // inclusive thread-CPU time
+    int64_t self_cpu_us = 0;   // CPU minus children's inclusive CPU
+  };
+
+  /// `max_buffered_spans` bounds the open (not-yet-folded) buffer across
+  /// all request ids; spans arriving beyond the bound are counted as
+  /// dropped instead of growing memory without limit (a request that
+  /// never closes its root must not leak its subtree forever).
+  explicit ProfileAccumulator(size_t max_buffered_spans = 8192)
+      : max_buffered_spans_(max_buffered_spans) {}
+
+  void Emit(const TraceSpan& span) override;
+
+  /// Snapshot of the folded table, keyed by path (deterministic order).
+  std::map<std::string, Entry> Table() const;
+
+  /// Aggregates Table() rows by leaf span name — the fixed-cardinality
+  /// view the registry gauges export (paths are unbounded; names are a
+  /// small closed set).
+  std::map<std::string, Entry> TotalsByName() const;
+
+  uint64_t folded_spans() const;
+  uint64_t dropped_spans() const;
+
+  /// Full profile dump: {"profile": [rows sorted by path],
+  /// "folded_spans": N, "dropped_spans": N}.
+  std::string WriteJson() const;
+
+  /// Collapsed-stack text, one "path;seg;seg value" line per path with
+  /// nonzero self wall µs, sorted by path.
+  std::string WriteFolded() const;
+
+ private:
+  // What folding actually needs from a buffered span: the tree edges,
+  // the timings, and the name. Dropping request_id (the buffer key) and
+  // attrs keeps the hot Emit path allocation-free in practice — every
+  // profiled span name fits the small-string buffer.
+  struct BufferedSpan {
+    uint64_t id;
+    uint64_t parent;
+    int64_t start_us;
+    int64_t end_us;
+    int64_t cpu_us;
+    std::string name;
+  };
+
+  void FoldRootLocked(const TraceSpan& root);
+
+  const size_t max_buffered_spans_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<BufferedSpan>> buffers_;
+  size_t buffered_ = 0;
+  std::map<std::string, Entry> table_;
+  uint64_t folded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ustl
+
+#endif  // USTL_OBS_PROFILE_H_

@@ -60,6 +60,8 @@ std::string FormatTraceSpanJson(const TraceSpan& span) {
   AppendInt(&out, span.start_us);
   out += ", \"end_us\": ";
   AppendInt(&out, span.end_us);
+  out += ", \"cpu_us\": ";
+  AppendInt(&out, span.cpu_us);
   if (!span.attrs.empty()) {
     out += ", \"attrs\": {";
     bool first = true;
@@ -118,11 +120,18 @@ ScopedSpan::ScopedSpan(TraceContext* ctx, uint64_t parent, const char* name,
   span_.name = name;
   span_.detail = std::move(detail);
   span_.start_us = ctx->NowMicros();
+  cpu_start_us_ = ThreadCpuMicros();
 }
 
 void ScopedSpan::End() {
   if (ctx_ == nullptr) return;
+  const int64_t cpu_delta = ThreadCpuMicros() - cpu_start_us_;
   span_.end_us = ctx_->NowMicros();
+  // Clamp to [0, wall]: the CPU and wall clocks tick independently, so a
+  // tight span can read cpu > wall by a rounding quantum; check_trace.py
+  // enforces cpu_us <= wall as a schema invariant.
+  const int64_t wall = span_.end_us - span_.start_us;
+  span_.cpu_us = cpu_delta < 0 ? 0 : (cpu_delta > wall ? wall : cpu_delta);
   ctx_->sink()->Emit(span_);
   ctx_ = nullptr;
 }

@@ -54,6 +54,13 @@ struct TraceSpan {
   std::string detail;  // free-form qualifier: column name, program, ...
   int64_t start_us = 0;
   int64_t end_us = 0;
+  /// CPU time the owning thread consumed inside [start_us, end_us]
+  /// (CLOCK_THREAD_CPUTIME_ID delta, clamped to [0, wall]). A span with
+  /// cpu_us far below its wall interval sat on a queue, a lock or I/O
+  /// rather than running hot — the profiling layer splits the two.
+  /// Hand-built spans that cross threads (request root, admission_wait)
+  /// carry 0: "unknown", never an over-claim.
+  int64_t cpu_us = 0;
   std::vector<std::pair<std::string, int64_t>> attrs;
 };
 
@@ -91,6 +98,24 @@ class CountingTraceSink : public TraceSink {
  private:
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> bytes_{0};
+};
+
+/// Fans each span out to several sinks (user trace stream, profiler,
+/// flight recorder). Null entries are skipped, so callers can wire the
+/// fixed consumer slots unconditionally. The sink list is immutable
+/// after construction — thread-safety reduces to the targets' own.
+class TeeTraceSink : public TraceSink {
+ public:
+  explicit TeeTraceSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void Emit(const TraceSpan& span) override {
+    for (TraceSink* sink : sinks_) {
+      if (sink != nullptr) sink->Emit(span);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 /// Formats a span as its JSON-lines object (no trailing newline).
@@ -165,10 +190,15 @@ class ScopedSpan {
   void MoveFrom(ScopedSpan* other) {
     ctx_ = other->ctx_;
     span_ = std::move(other->span_);
+    cpu_start_us_ = other->cpu_start_us_;
     other->ctx_ = nullptr;
   }
   TraceContext* ctx_ = nullptr;
   TraceSpan span_;
+  // Thread-CPU clock at open; End() stores the clamped delta in
+  // span_.cpu_us. Valid only when open and close run on one thread,
+  // which RAII guarantees for every span in the stack.
+  int64_t cpu_start_us_ = 0;
 };
 
 }  // namespace ustl

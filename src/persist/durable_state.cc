@@ -193,6 +193,8 @@ Result<std::unique_ptr<DurableState>> DurableState::Open(
   WalOptions wal_options;
   wal_options.fsync = options.fsync;
   wal_options.batch_appends = options.batch_appends;
+  wal_options.trace = options.trace;
+  wal_options.fsync_latency_us = options.fsync_latency_us;
   WalOpenResult wal_result;
   Status wal_status =
       state->wal_.Open(dir + "/" + kWalFile, wal_options, &wal_result);
@@ -219,6 +221,11 @@ void DurableState::RecoverInto(OracleBroker* broker) {
 }
 
 void DurableState::AppendRecord(const std::string& payload) {
+  // Root span on the process-level context (parent 0): one per durable
+  // record, wrapping the frame write and any policy-driven fsync (which
+  // opens its own root "fsync" span inside).
+  ScopedSpan append_span(options_.trace, 0, "wal_append");
+  append_span.AddAttr("bytes", static_cast<int64_t>(payload.size()));
   std::lock_guard<std::mutex> lock(mutex_);
   if (!wal_.is_open()) return;
   Status status = wal_.Append(payload);
@@ -245,6 +252,10 @@ bool DurableState::ShouldCompact() const {
 }
 
 Status DurableState::WriteSnapshot(const OracleDurableState& state) {
+  // Compaction = encode + snapshot publish + WAL reset; the snapshot
+  // write nests inside so a profile separates serialization from the
+  // rename-and-fsync publish.
+  ScopedSpan compaction_span(options_.trace, 0, "compaction");
   std::vector<std::string> records;
   records.reserve(state.verdicts.size() + state.approved.size());
   for (const DurableVerdict& verdict : state.verdicts) {
@@ -253,9 +264,13 @@ Status DurableState::WriteSnapshot(const OracleDurableState& state) {
   for (const DurableApproved& approved : state.approved) {
     records.push_back(EncodeApprovedRecord(approved));
   }
+  compaction_span.AddAttr("records", static_cast<int64_t>(records.size()));
   std::lock_guard<std::mutex> lock(mutex_);
+  ScopedSpan snapshot_span(options_.trace, compaction_span.id(),
+                           "snapshot_write");
   Status status = WriteSnapshotFile(dir_ + "/" + kSnapshotFile, records);
   if (!status.ok()) return status;
+  snapshot_span.End();
   ++snapshot_writes_;
   if (wal_.is_open()) {
     Status reset_status = wal_.Reset();

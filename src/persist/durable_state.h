@@ -60,6 +60,15 @@ class DurableState : public OracleDurabilityListener {
     /// Snapshot + WAL reset once the WAL grows past this (0 = never
     /// auto-compact; the final shutdown snapshot still happens).
     uint64_t compact_wal_bytes = 4ull << 20;
+    /// Borrowed process-level trace context (the service's, never a
+    /// request's): wal_append / fsync / snapshot_write / compaction open
+    /// root spans under it so durability stalls are attributable in
+    /// profiles and flight-recorder dumps. Must outlive this object.
+    /// Null = no spans.
+    TraceContext* trace = nullptr;
+    /// Borrowed histogram for per-fsync wall latency
+    /// (ustl_persist_fsync_latency_us). Null = not recorded.
+    Histogram* fsync_latency_us = nullptr;
   };
 
   /// Opens (creating if needed) the persist dir, recovers the snapshot +

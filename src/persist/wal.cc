@@ -221,9 +221,15 @@ Status Wal::Sync() {
 }
 
 Status Wal::SyncNow() {
+  ScopedSpan fsync_span(options_.trace, 0, "fsync");
+  SteadyClock::time_point start;
+  if (options_.fsync_latency_us != nullptr) start = SteadyNow();
   if (::fsync(fd_) != 0) {
     return Status::Internal("wal fsync '" + path_ + "': " +
                             std::strerror(errno));
+  }
+  if (options_.fsync_latency_us != nullptr) {
+    options_.fsync_latency_us->Observe(MicrosSince(start));
   }
   ++fsyncs_;
   unsynced_appends_ = 0;

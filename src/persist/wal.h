@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustl {
 
@@ -47,6 +49,14 @@ struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kBatch;
   /// Under kBatch: fsync once every this many appends (and on Sync()).
   uint64_t batch_appends = 32;
+  /// Borrowed process-level trace context (obs/trace.h): each fsync
+  /// opens a root "fsync" span, so durability stalls show up in profiles
+  /// and flight-recorder dumps. Null = no spans (the default; tests and
+  /// standalone WAL users stay observability-free).
+  TraceContext* trace = nullptr;
+  /// Borrowed latency histogram: every fsync's wall time lands here
+  /// (the ustl_persist_fsync_latency_us satellite). Null = not recorded.
+  Histogram* fsync_latency_us = nullptr;
 };
 
 /// What Wal::Open recovered from an existing log file.

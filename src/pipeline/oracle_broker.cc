@@ -330,7 +330,9 @@ OracleDurableState OracleBroker::ExportDurableState() const {
 
 OracleBrokerStats OracleBroker::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  OracleBrokerStats out = stats_;
+  out.pending = queue_.size();
+  return out;
 }
 
 std::vector<ApprovedTransformation> OracleBroker::ApprovedLog() const {

@@ -57,6 +57,10 @@ struct OracleBrokerStats {
   /// evicted question re-asks the backend on its next appearance; the
   /// order-independence contract keeps the re-asked verdict identical.
   size_t evictions = 0;
+  /// Questions parked in the combining queue at the stats() snapshot —
+  /// an instantaneous depth, not a counter. Nonzero in a flight-recorder
+  /// dump means requests were blocked on the oracle when it fired.
+  size_t pending = 0;
 };
 
 /// One cached verdict in durable form: the 128-bit content key plus the

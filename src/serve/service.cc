@@ -1,6 +1,9 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +11,56 @@
 #include "consolidate/truth_discovery.h"
 
 namespace ustl {
+
+namespace {
+
+/// Deterministic content hash for head sampling (FNV-1a over column
+/// names and every cell in cluster/record order, with a separator mix
+/// between strings so concatenations cannot collide trivially). A pure
+/// function of the table's bytes: the sampled set is identical across
+/// thread counts, codecs and repeated runs.
+uint64_t HashTableContent(const Table& table) {
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](const std::string& text) {
+    for (char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xFFu;
+    hash *= 1099511628211ull;
+  };
+  for (const std::string& name : table.column_names()) mix(name);
+  for (size_t c = 0; c < table.num_clusters(); ++c) {
+    for (const auto& row : table.cluster(c)) {
+      for (const std::string& cell : row) mix(cell);
+    }
+  }
+  return hash;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+/// Span names the profiler gauges export self-times for: the closed set
+/// the serving + persist layers open (unknown names still profile into
+/// the table/dump; they just have no dedicated gauge).
+const char* const kProfiledSpanNames[] = {
+    "request",     "admission_wait", "column",        "candidates",
+    "graph_build", "search_wave",    "oracle_batch",  "oracle_call",
+    "apply",       "fuse",           "wal_append",    "fsync",
+    "snapshot_write", "compaction"};
+
+}  // namespace
 
 // Per-column-job oracle shim: forwards every question to the service's
 // shared broker, then streams the verdict as an event. One instance per
@@ -71,8 +124,28 @@ ConsolidationService::ConsolidationService(VerificationOracle* backend,
   USTL_CHECK(options_.max_pending_requests > 0);
   paused_ = options_.start_paused;
   boost_tokens_ = budget_ % workers_;
+  // Diagnosis layer before RegisterMetrics (which wires its gauges) and
+  // before the persist layer (which borrows the process-level context).
+  if (options_.enable_profiler) {
+    profiler_ = std::make_unique<ProfileAccumulator>();
+  }
+  if (options_.enable_flight_recorder) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(options_.flight_recorder_capacity);
+  }
+  if (profiler_ != nullptr || recorder_ != nullptr) {
+    service_tee_ = std::make_unique<TeeTraceSink>(
+        std::vector<TraceSink*>{profiler_.get(), recorder_.get()});
+    service_trace_ =
+        std::make_unique<TraceContext>(service_tee_.get(), "service", epoch_);
+  }
   RegisterMetrics();
   if (!options_.persist_dir.empty()) {
+    // The persist layer emits into the process-level context only — its
+    // spans must never reach a request's --trace-out sink (each request
+    // stream closes with exactly one root).
+    options_.persist.trace = service_trace_.get();
+    options_.persist.fsync_latency_us = persist_fsync_latency_us_;
     // Recover BEFORE the first request can be admitted: the broker is
     // seeded with the durable prefix, then the listener attaches so only
     // genuinely new state is WAL-logged. A torn WAL tail is recovery;
@@ -142,6 +215,18 @@ void ConsolidationService::RegisterMetrics() {
   column_duration_us_ = metrics_.RegisterHistogram(
       "ustl_column_duration_us", "StandardizeColumn latency per column job",
       DefaultLatencyBucketsUs());
+  persist_fsync_latency_us_ = metrics_.RegisterHistogram(
+      "ustl_persist_fsync_latency_us", "WAL fsync wall latency",
+      DefaultLatencyBucketsUs());
+  flight_dumps_ = metrics_.RegisterCounter(
+      "ustl_flight_dumps_total",
+      "Flight-recorder dumps fired (stall / deadline / error / drain)");
+  trace_sampled_ = metrics_.RegisterCounter(
+      "ustl_trace_sampled_total",
+      "Requests whose content hash selected them for the trace sink");
+  trace_unsampled_ = metrics_.RegisterCounter(
+      "ustl_trace_unsampled_total",
+      "Requests head-sampled away from the trace sink");
 
   // The broker / search-cache / retry layers keep their pinned stats
   // structs; snapshot-time collectors copy them into gauges so one
@@ -242,6 +327,50 @@ void ConsolidationService::RegisterMetrics() {
     active_requests->Set(static_cast<int64_t>(active_.size()));
     max_concurrent->Set(static_cast<int64_t>(max_concurrent_requests_));
   });
+  if (recorder_ != nullptr) {
+    Gauge* recorder_spans = metrics_.RegisterGauge(
+        "ustl_flight_recorder_spans", "Spans ever written to the ring");
+    FlightRecorder* recorder = recorder_.get();
+    metrics_.AddCollector([=] {
+      recorder_spans->Set(static_cast<int64_t>(recorder->recorded()));
+    });
+  }
+  if (profiler_ != nullptr) {
+    // Collectors run under the registry mutex and cannot register, so
+    // every per-name gauge the profile could ever produce is registered
+    // up front from the closed set of span names the service emits.
+    Gauge* profile_folded = metrics_.RegisterGauge(
+        "ustl_profile_folded_spans", "Spans folded into the profile table");
+    Gauge* profile_dropped = metrics_.RegisterGauge(
+        "ustl_profile_dropped_spans",
+        "Spans dropped by the profiler's buffering bound");
+    auto wall_gauges =
+        std::make_shared<std::map<std::string, Gauge*>>();
+    auto cpu_gauges = std::make_shared<std::map<std::string, Gauge*>>();
+    for (const char* name : kProfiledSpanNames) {
+      (*wall_gauges)[name] = metrics_.RegisterGauge(
+          std::string("ustl_profile_self_wall_us_") + name,
+          std::string("Exclusive wall microseconds in '") + name + "' spans");
+      (*cpu_gauges)[name] = metrics_.RegisterGauge(
+          std::string("ustl_profile_self_cpu_us_") + name,
+          std::string("Exclusive CPU microseconds in '") + name + "' spans");
+    }
+    ProfileAccumulator* profiler = profiler_.get();
+    metrics_.AddCollector([=] {
+      profile_folded->Set(static_cast<int64_t>(profiler->folded_spans()));
+      profile_dropped->Set(static_cast<int64_t>(profiler->dropped_spans()));
+      const auto totals = profiler->TotalsByName();
+      for (const auto& [name, gauge] : *wall_gauges) {
+        const auto it = totals.find(name);
+        gauge->Set(it == totals.end() ? 0 : it->second.self_wall_us);
+      }
+      for (const auto& [name, gauge] : *cpu_gauges) {
+        const auto it = totals.find(name);
+        gauge->Set(it == totals.end() ? 0 : it->second.self_cpu_us);
+      }
+    });
+  }
+  RegisterProcessMetrics(&metrics_);
 }
 
 ConsolidationService::~ConsolidationService() {
@@ -264,9 +393,26 @@ void ConsolidationService::Shutdown(bool drain) {
     // In-flight requests finish under their own deadlines; admitting_
     // covers Submits past the admission check but still emitting their
     // kAdmitted event outside the lock.
-    idle_cv_.wait(lock, [&] {
+    const auto drained = [&] {
       return active_.empty() && running_jobs_ == 0 && admitting_ == 0;
-    });
+    };
+    if (recorder_ != nullptr && options_.stall_threshold_ms > 0) {
+      // A drain that outlives the stall threshold dumps the ring once —
+      // the last chance to see what the stuck requests were doing — then
+      // keeps waiting (the dump diagnoses the hang, it does not break it).
+      bool dumped = false;
+      while (!idle_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.stall_threshold_ms),
+          drained)) {
+        if (dumped) continue;
+        dumped = true;
+        lock.unlock();
+        FireFlightDump("drain_timeout");
+        lock.lock();
+      }
+    } else {
+      idle_cv_.wait(lock, drained);
+    }
     if (final_snapshot_done_) return;
     final_snapshot_done_ = true;
   }
@@ -349,11 +495,30 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
   }
   requests_admitted_->Increment();
   admission_wait_us_->Observe(MicrosSince(request->submit_time));
-  if (options.trace_sink != nullptr) {
+  // Head sampling gates only the caller's sink: the decision is a pure
+  // function of request *content* (not arrival order or thread), so the
+  // same table is sampled — or not — on every run, and a sampled run
+  // stays byte-identical to an unsampled one.
+  TraceSink* user_sink = options.trace_sink;
+  if (user_sink != nullptr && options_.trace_sample > 1) {
+    if (HashTableContent(*table) % options_.trace_sample == 0) {
+      trace_sampled_->Increment();
+    } else {
+      trace_unsampled_->Increment();
+      user_sink = nullptr;
+    }
+  }
+  // The diagnosis sinks (profiler, recorder) see every request's spans
+  // regardless of sampling; the tee fans one emission out to whichever
+  // of the three are live.
+  if (user_sink != nullptr || profiler_ != nullptr || recorder_ != nullptr) {
+    request->tee = std::make_unique<TeeTraceSink>(std::vector<TraceSink*>{
+        user_sink, profiler_ ? profiler_.get() : nullptr,
+        recorder_ ? recorder_.get() : nullptr});
     // The trace request id suffixes the handle so it stays unique even
     // when labels repeat (warm rounds resubmit the same table name).
     request->trace = std::make_unique<TraceContext>(
-        options.trace_sink,
+        request->tee.get(),
         request->label + "#" + std::to_string(request->id), epoch_);
     // Reserve span id 1 for the request root: every other span nests
     // under it, and the root itself is emitted at finalize (interval
@@ -366,7 +531,7 @@ uint64_t ConsolidationService::Submit(Table* table, RequestOptions options) {
     admission.name = "admission_wait";
     admission.start_us = DurationMicros(epoch_, request->submit_time);
     admission.end_us = request->trace->NowMicros();
-    options.trace_sink->Emit(admission);
+    request->trace->sink()->Emit(admission);
   }
 
   // Emitted before the request enters active_, so its event stream is
@@ -710,6 +875,17 @@ void ConsolidationService::FinalizeRequest(Request* request) {
     request->trace->sink()->Emit(root);
   }
 
+  // A request that ends badly dumps the ring while it is still in
+  // active_, so the dump's per-request progress includes the culprit.
+  // mutex_ is NOT held here (FireFlightDump takes it).
+  if (recorder_ != nullptr &&
+      (request->status == RequestStatus::kDeadlineExceeded ||
+       request->status == RequestStatus::kError)) {
+    FireFlightDump(request->status == RequestStatus::kError
+                       ? "error"
+                       : "deadline_exceeded");
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // The working copies are committed (or abandoned on error); drop them
@@ -799,6 +975,88 @@ void ConsolidationService::EmitForRequestId(uint64_t id, ServeEvent event) {
   // broker on the very question being retried, so it cannot finalize (and
   // be erased by Wait) while we emit.
   Emit(*request, std::move(event));
+}
+
+size_t ConsolidationService::CheckStalls() {
+  if (recorder_ == nullptr || options_.stall_threshold_ms <= 0) return 0;
+  const int64_t threshold_us = options_.stall_threshold_ms * 1000;
+  size_t stalled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Request* request : active_) {
+      if (request->stall_dumped) continue;
+      if (MicrosSince(request->submit_time) < threshold_us) continue;
+      // Latched: a request that keeps stalling dumps once, not once per
+      // watchdog tick. The flag lives on the request, so a later NEW
+      // stalled request still triggers a fresh dump.
+      request->stall_dumped = true;
+      ++stalled;
+    }
+  }
+  // One dump covers every request that crossed the threshold this tick —
+  // the ring and the progress table already describe all of them.
+  if (stalled > 0) FireFlightDump("stall");
+  return stalled;
+}
+
+void ConsolidationService::FireFlightDump(const char* reason) {
+  if (recorder_ == nullptr) return;
+  // Subsystem stats first, each under its own lock, with mutex_ NOT held
+  // (broker stats + persist stats take their own mutexes; taking them
+  // under mutex_ would order locks against the dispatch path).
+  const OracleBrokerStats broker = broker_.stats();
+  uint64_t retries = 0;
+  uint64_t short_circuits = 0;
+  bool breaker_open = false;
+  if (retrying_ != nullptr) {
+    const RetryingOracleStats retry = retrying_->stats();
+    retries = retry.retries;
+    short_circuits = retry.short_circuits;
+    breaker_open = retrying_->breaker_open();
+  }
+  PersistStats persist;
+  if (persist_ != nullptr) persist = persist_->stats();
+
+  // Progress table under mutex_: where every admitted-but-unfinished
+  // request is stuck (columns dispatched vs done, how long it has been
+  // in flight). This is the part a post-mortem cannot reconstruct from
+  // the span ring alone.
+  std::string context = "{\"requests\": [";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const Request* request : active_) {
+      if (!first) context += ", ";
+      first = false;
+      context += "{\"id\": " + std::to_string(request->id) + ", \"label\": ";
+      AppendJsonEscaped(&context, request->label);
+      context += ", \"columns\": " + std::to_string(request->columns.size()) +
+                 ", \"dispatched\": " + std::to_string(request->dispatched) +
+                 ", \"completed\": " + std::to_string(request->completed) +
+                 ", \"age_us\": " +
+                 std::to_string(MicrosSince(request->submit_time)) + "}";
+    }
+  }
+  // Zeros when a subsystem is absent: the dump schema is stable, so
+  // check_trace.py validates one shape regardless of configuration.
+  context += "], \"broker\": {\"pending\": " + std::to_string(broker.pending) +
+             ", \"questions\": " + std::to_string(broker.questions) +
+             ", \"backend_calls\": " + std::to_string(broker.backend_calls) +
+             ", \"cache_hits\": " + std::to_string(broker.cache_hits) +
+             "}, \"retry\": {\"breaker_open\": " +
+             (breaker_open ? std::string("true") : std::string("false")) +
+             ", \"retries\": " + std::to_string(retries) +
+             ", \"short_circuits\": " + std::to_string(short_circuits) +
+             "}, \"persist\": {\"wal_appends\": " +
+             std::to_string(persist.wal_appends) +
+             ", \"fsyncs\": " + std::to_string(persist.fsyncs) +
+             ", \"snapshot_writes\": " + std::to_string(persist.snapshot_writes) +
+             "}}";
+
+  const std::string dump =
+      recorder_->DumpJson(reason, MicrosSince(epoch_), context);
+  flight_dumps_->Increment();
+  if (options_.flight_dump_sink) options_.flight_dump_sink(dump);
 }
 
 RetryingOracle::Options ConsolidationService::WireRetryOptions() {

@@ -49,7 +49,9 @@
 #include "common/parallel.h"
 #include "consolidate/framework.h"
 #include "grouping/search_cache.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "persist/durable_state.h"
 #include "pipeline/oracle_broker.h"
@@ -128,6 +130,37 @@ struct ServiceOptions {
   std::string persist_dir;
   /// Fsync policy / compaction thresholds for persist_dir.
   DurableState::Options persist;
+  /// Always-on flight recorder (obs/flight_recorder.h): every request —
+  /// traced or not — streams its closed spans into a fixed-size ring, so
+  /// a stalled / deadline-exceeded / errored request leaves post-hoc
+  /// trace evidence with zero pre-arming. Per-span cost is one mutex
+  /// acquire + one slot copy (priced by the obs_overhead bench gate).
+  bool enable_flight_recorder = true;
+  size_t flight_recorder_capacity = 256;
+  /// A request active longer than this (milliseconds) is considered
+  /// stalled: the next CheckStalls() call fires one flight-recorder dump
+  /// for it (latched per request). Also bounds the Shutdown(drain) wait
+  /// between dump-free checks: a drain blocked past the threshold dumps
+  /// once with reason "drain_timeout". 0 disables stall detection.
+  int64_t stall_threshold_ms = 0;
+  /// Receives each flight-recorder dump (one JSON object, schema in
+  /// obs/flight_recorder.h) — the CLI writes it to --flight-dump, tests
+  /// capture it. Null: dumps are counted (ustl_flight_dumps_total) but
+  /// dropped. Called outside the service mutex; must be thread-safe.
+  std::function<void(const std::string&)> flight_dump_sink;
+  /// CPU-attributed profiling (obs/profile.h): fold every closed span
+  /// into the per-path inclusive/exclusive wall+CPU table, exposed as
+  /// ustl_profile_* gauges and through profiler(). Off by default — the
+  /// fold is cheap but not free, and a serving deployment opts in.
+  bool enable_profiler = false;
+  /// Deterministic head sampling for the per-request trace sink: a
+  /// request is traced iff FNV-1a(table content) % trace_sample == 0.
+  /// Pure function of request content — the sampled set is identical
+  /// across thread counts, codecs and runs, so sampled sweeps stay
+  /// byte-identical and replayable. 0 or 1 = trace every request that
+  /// supplies a sink. Sampling gates only the request's own sink; the
+  /// flight recorder and profiler always see every span.
+  uint64_t trace_sample = 0;
 };
 
 /// One streamed service event. kVerdict events carry the broker's answer
@@ -322,6 +355,21 @@ class ConsolidationService {
   /// Resolved number of concurrently running column jobs.
   int workers() const { return workers_; }
 
+  /// The CPU profiler (null unless ServiceOptions::enable_profiler).
+  /// Read-only consumers: the CLI's --profile-out dump and tests.
+  ProfileAccumulator* profiler() const { return profiler_.get(); }
+
+  /// The always-on flight recorder (null when disabled).
+  FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
+  /// Stall watchdog hook: scans admitted requests and fires one
+  /// flight-recorder dump (reason "stall", latched per request) for each
+  /// that has been active longer than stall_threshold_ms. The CLI's
+  /// shutdown-watcher thread polls this; tests call it directly. Returns
+  /// the number of dumps fired. No-op (0) when the recorder is disabled
+  /// or the threshold is 0.
+  size_t CheckStalls();
+
  private:
   struct Request {
     uint64_t id = 0;
@@ -349,13 +397,20 @@ class ConsolidationService {
     /// Submit entry time: start of the root trace span and of the
     /// admission-wait / request-duration histogram intervals.
     SteadyClock::time_point submit_time;
-    /// Per-request trace state (null = untraced). The context outlives
-    /// every span opened under it: jobs hold the Request* until their
-    /// column completes, and completion precedes finalize.
+    /// Per-request trace state (null = untraced AND no recorder /
+    /// profiler). The context outlives every span opened under it: jobs
+    /// hold the Request* until their column completes, and completion
+    /// precedes finalize.
     std::unique_ptr<TraceContext> trace;
+    /// Fan-out the context emits into: the (sampled) user sink, the
+    /// profiler and the flight recorder. Owned here so it lives as long
+    /// as the context pointing at it.
+    std::unique_ptr<TeeTraceSink> tee;
     uint64_t root_span = 0;  // span id every column span nests under
     /// Next event sequence number; advanced under the event lock.
     uint64_t next_event_seq = 0;
+    /// Stall dumps are latched: one per request, however long it stalls.
+    bool stall_dumped = false;
   };
 
   /// Requires mutex_. Submits worker loops until every slot is busy or no
@@ -392,6 +447,11 @@ class ConsolidationService {
   /// Constructor helper: registers every instrument and the snapshot
   /// collectors on metrics_.
   void RegisterMetrics();
+  /// Builds the dump-context JSON (per-request progress, broker pending,
+  /// retry/breaker and persist state), renders the recorder ring and
+  /// hands the dump to flight_dump_sink. Takes mutex_ internally — the
+  /// caller must NOT hold it. No-op when the recorder is off.
+  void FireFlightDump(const char* reason);
 
   friend class ServeEventOracle;
 
@@ -399,6 +459,18 @@ class ConsolidationService {
   ServiceOptions options_;
   int budget_ = 1;   // resolved thread budget
   int workers_ = 1;  // resolved concurrent column jobs
+  /// Diagnosis layer (ISSUE 10), constructed in the ctor body before any
+  /// request or the persist layer can emit. Declared before persist_
+  /// (further down) so the process-level context outlives the
+  /// DurableState that borrows it.
+  std::unique_ptr<ProfileAccumulator> profiler_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  /// Process-level span fan-out (profiler + recorder only, never a
+  /// user's --trace-out sink) and the context the persist layer opens
+  /// its wal_append / fsync / snapshot_write / compaction spans under.
+  /// Null when neither consumer is enabled.
+  std::unique_ptr<TeeTraceSink> service_tee_;
+  std::unique_ptr<TraceContext> service_trace_;
   /// Grouping threads per column job: every job gets budget / workers,
   /// and the budget % workers remainder circulates as boost tokens — a
   /// dispatching job takes one when available (mutex_-guarded
@@ -474,6 +546,11 @@ class ConsolidationService {
   Histogram* admission_wait_us_ = nullptr;
   Histogram* request_duration_us_ = nullptr;
   Histogram* column_duration_us_ = nullptr;
+  /// WAL fsync latency (persist satellite); handed to DurableState.
+  Histogram* persist_fsync_latency_us_ = nullptr;
+  Counter* flight_dumps_ = nullptr;
+  Counter* trace_sampled_ = nullptr;
+  Counter* trace_unsampled_ = nullptr;
 
   std::mutex event_mutex_;     // serializes on_event callbacks
   std::mutex progress_mutex_;  // serializes framework progress callbacks

@@ -6,12 +6,15 @@
 // keeps the relaxed-atomic claims honest.
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ustl {
@@ -180,12 +183,15 @@ TEST(TraceTest, JsonLinesSchema) {
   span.detail = "u=>ul";
   span.start_us = 10;
   span.end_us = 25;
+  span.cpu_us = 7;
   span.attrs = {{"pairs", 6}};
   EXPECT_EQ(FormatTraceSpanJson(span),
             "{\"request\": \"tab\\\"le#1\", \"id\": 3, \"parent\": 1, "
             "\"name\": \"graph_build\", \"detail\": \"u=>ul\", "
-            "\"start_us\": 10, \"end_us\": 25, \"attrs\": {\"pairs\": 6}}");
-  // detail and attrs are omitted when empty.
+            "\"start_us\": 10, \"end_us\": 25, \"cpu_us\": 7, "
+            "\"attrs\": {\"pairs\": 6}}");
+  // detail and attrs are omitted when empty; cpu_us is always present
+  // (0 marks hand-built cross-thread spans, not "unknown").
   TraceSpan bare;
   bare.request_id = "r";
   bare.id = 1;
@@ -193,6 +199,7 @@ TEST(TraceTest, JsonLinesSchema) {
   const std::string formatted = FormatTraceSpanJson(bare);
   EXPECT_EQ(formatted.find("detail"), std::string::npos);
   EXPECT_EQ(formatted.find("attrs"), std::string::npos);
+  EXPECT_NE(formatted.find("\"cpu_us\": 0"), std::string::npos);
 }
 
 TEST(TraceTest, JsonLinesSinkWritesOneLinePerSpan) {
@@ -242,6 +249,303 @@ TEST(TraceTest, ConcurrentSpansGetUniqueIds) {
   EXPECT_EQ(sink.count(), 4000u);
   // All ids were handed out exactly once: the next one is #4001.
   EXPECT_EQ(ctx.NextSpanId(), 4001u);
+}
+
+TEST(MetricsRegistryTest, LabeledGaugeRendersLabelsInBothFormats) {
+  MetricsRegistry registry;
+  Gauge* info = registry.RegisterGauge(
+      "build_info", "help",
+      {{"compiler", "gcc 12.2.0"}, {"build_type", "Release"}});
+  info->Set(1);
+  const std::string text = registry.WriteText();
+  EXPECT_NE(text.find("build_info{compiler=\"gcc 12.2.0\","
+                      "build_type=\"Release\"} 1"),
+            std::string::npos);
+  const std::string json = registry.WriteJson();
+  EXPECT_NE(json.find("\"labels\": {\"compiler\": \"gcc 12.2.0\", "
+                      "\"build_type\": \"Release\"}"),
+            std::string::npos);
+  // Idempotency keys on the bare name, labels notwithstanding.
+  EXPECT_EQ(info, registry.RegisterGauge("build_info", "help"));
+}
+
+TEST(MetricsRegistryTest, ProcessMetricsExposeRssCpuFdsAndBuildInfo) {
+  MetricsRegistry registry;
+  RegisterProcessMetrics(&registry);
+  const std::string text = registry.WriteText();
+  // Presence always; nonzero only where short-lived processes can
+  // guarantee it (whole-second CPU time may legitimately read 0).
+  EXPECT_NE(text.find("ustl_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(text.find("ustl_process_cpu_seconds_total"), std::string::npos);
+  EXPECT_NE(text.find("ustl_process_open_fds"), std::string::npos);
+  EXPECT_NE(text.find("ustl_build_info{compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\"" + std::string(BuildTypeString())),
+            std::string::npos);
+#if defined(__linux__)
+  // A running gtest binary has a nonzero footprint and open fds.
+  Gauge* rss = registry.RegisterGauge("ustl_process_rss_bytes", "");
+  Gauge* fds = registry.RegisterGauge("ustl_process_open_fds", "");
+  registry.WriteText();  // collectors refresh on scrape
+  EXPECT_GT(rss->Value(), 0);
+  EXPECT_GT(fds->Value(), 0);
+#endif
+}
+
+/// Sink that keeps every span for structural assertions.
+class VectorTraceSink : public TraceSink {
+ public:
+  void Emit(const TraceSpan& span) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(span);
+  }
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+TEST(TraceTest, CpuTimeIsCapturedAndClampedToWall) {
+  VectorTraceSink sink;
+  TraceContext ctx(&sink, "req", SteadyNow());
+  {
+    ScopedSpan span(&ctx, 0, "busy");
+    // Burn a little CPU so the thread clock moves on most schedulers.
+    volatile uint64_t sum = 0;
+    for (int i = 0; i < 200000; ++i) sum += i;
+  }
+  const std::vector<TraceSpan> spans = sink.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].cpu_us, 0);
+  EXPECT_LE(spans[0].cpu_us, spans[0].end_us - spans[0].start_us);
+}
+
+TEST(TraceTest, TeeFansOutToEverySinkAndSkipsNulls) {
+  CountingTraceSink a;
+  CountingTraceSink b;
+  TeeTraceSink tee({&a, nullptr, &b});
+  TraceContext ctx(&tee, "req", SteadyNow());
+  { ScopedSpan span(&ctx, 0, "work"); }
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+/// A serial synthetic span tree with hand-picked intervals:
+///   request [0,100] cpu 50
+///     column.a [10,40] cpu 20
+///       search_wave [20,30] cpu 5
+///     column.b [50,90] cpu 10
+/// Children emit before the root (RAII order).
+void EmitSyntheticTree(TraceSink* sink) {
+  TraceSpan wave;
+  wave.request_id = "t#1";
+  wave.id = 3;
+  wave.parent = 2;
+  wave.name = "search_wave";
+  wave.start_us = 20;
+  wave.end_us = 30;
+  wave.cpu_us = 5;
+  sink->Emit(wave);
+  TraceSpan col_a;
+  col_a.request_id = "t#1";
+  col_a.id = 2;
+  col_a.parent = 1;
+  col_a.name = "column";
+  col_a.start_us = 10;
+  col_a.end_us = 40;
+  col_a.cpu_us = 20;
+  sink->Emit(col_a);
+  TraceSpan col_b;
+  col_b.request_id = "t#1";
+  col_b.id = 4;
+  col_b.parent = 1;
+  col_b.name = "column";
+  col_b.start_us = 50;
+  col_b.end_us = 90;
+  col_b.cpu_us = 10;
+  sink->Emit(col_b);
+  TraceSpan root;
+  root.request_id = "t#1";
+  root.id = 1;
+  root.parent = 0;
+  root.name = "request";
+  root.start_us = 0;
+  root.end_us = 100;
+  root.cpu_us = 50;
+  sink->Emit(root);
+}
+
+TEST(ProfileTest, FoldsInclusiveAndExclusiveTimes) {
+  ProfileAccumulator profiler;
+  EmitSyntheticTree(&profiler);
+  const auto table = profiler.Table();
+  ASSERT_EQ(table.size(), 3u);  // request, request;column, request;column;...
+  const auto& root = table.at("request");
+  EXPECT_EQ(root.count, 1u);
+  EXPECT_EQ(root.wall_us, 100);
+  EXPECT_EQ(root.self_wall_us, 100 - 30 - 40);  // minus both columns
+  EXPECT_EQ(root.cpu_us, 50);
+  EXPECT_EQ(root.self_cpu_us, 50 - 20 - 10);
+  const auto& column = table.at("request;column");
+  EXPECT_EQ(column.count, 2u);  // both columns share a path
+  EXPECT_EQ(column.wall_us, 30 + 40);
+  EXPECT_EQ(column.self_wall_us, (30 - 10) + 40);
+  const auto& wave = table.at("request;column;search_wave");
+  EXPECT_EQ(wave.count, 1u);
+  EXPECT_EQ(wave.wall_us, 10);
+  EXPECT_EQ(wave.self_wall_us, 10);  // leaf: inclusive == exclusive
+  // Inclusive >= exclusive everywhere, and on a serial tree the self
+  // wall times sum exactly to the root's wall time.
+  int64_t self_sum = 0;
+  for (const auto& row : table) {
+    EXPECT_GE(row.second.wall_us, row.second.self_wall_us) << row.first;
+    EXPECT_GE(row.second.cpu_us, row.second.self_cpu_us) << row.first;
+    self_sum += row.second.self_wall_us;
+  }
+  EXPECT_EQ(self_sum, 100);
+  EXPECT_EQ(profiler.folded_spans(), 4u);
+  EXPECT_EQ(profiler.dropped_spans(), 0u);
+  // TotalsByName collapses paths to their leaf name.
+  const auto totals = profiler.TotalsByName();
+  EXPECT_EQ(totals.at("column").count, 2u);
+  EXPECT_EQ(totals.at("search_wave").self_wall_us, 10);
+}
+
+TEST(ProfileTest, JsonAndFoldedOutputsCarryTheTable) {
+  ProfileAccumulator profiler;
+  EmitSyntheticTree(&profiler);
+  const std::string json = profiler.WriteJson();
+  EXPECT_EQ(json.find("{\"profile\": ["), 0u);
+  EXPECT_NE(json.find("\"path\": \"request;column;search_wave\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"folded_spans\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\": 0"), std::string::npos);
+  const std::string folded = profiler.WriteFolded();
+  EXPECT_NE(folded.find("request;column;search_wave 10\n"), std::string::npos);
+  EXPECT_NE(folded.find("request 30\n"), std::string::npos);
+}
+
+TEST(ProfileTest, BufferBoundDropsInsteadOfGrowing) {
+  ProfileAccumulator profiler(/*max_buffered_spans=*/2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    TraceSpan span;
+    span.request_id = "leaky#1";
+    span.id = 10 + i;
+    span.parent = 1;  // never-closing root: these can only buffer
+    span.name = "column";
+    profiler.Emit(span);
+  }
+  EXPECT_EQ(profiler.dropped_spans(), 3u);
+  // The two buffered spans still fold when their root finally closes.
+  TraceSpan root;
+  root.request_id = "leaky#1";
+  root.id = 1;
+  root.parent = 0;
+  root.name = "request";
+  profiler.Emit(root);
+  EXPECT_EQ(profiler.folded_spans(), 3u);  // root + 2 survivors
+}
+
+TEST(ProfileTest, ConcurrentRequestsFoldIndependently) {
+  // TSan leg: many threads emit full synthetic trees under distinct
+  // request ids while a reader snapshots the table.
+  ProfileAccumulator profiler;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&profiler, t] {
+      for (int i = 0; i < 200; ++i) {
+        TraceSpan child;
+        child.request_id = "r" + std::to_string(t) + "#" + std::to_string(i);
+        child.id = 2;
+        child.parent = 1;
+        child.name = "column";
+        child.start_us = 1;
+        child.end_us = 2;
+        profiler.Emit(child);
+        TraceSpan root = child;
+        root.id = 1;
+        root.parent = 0;
+        root.name = "request";
+        root.start_us = 0;
+        root.end_us = 3;
+        profiler.Emit(root);
+      }
+    });
+  }
+  for (int s = 0; s < 20; ++s) (void)profiler.Table();
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(profiler.folded_spans(), 4u * 200 * 2);
+  EXPECT_EQ(profiler.dropped_spans(), 0u);
+  EXPECT_EQ(profiler.Table().at("request;column").count, 4u * 200);
+}
+
+TEST(FlightRecorderTest, RingKeepsTheNewestSpansAfterWraparound) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    TraceSpan span;
+    span.request_id = "r#1";
+    span.id = i;
+    span.name = "column";
+    span.start_us = static_cast<int64_t>(i);
+    recorder.Emit(span);
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  const std::vector<TraceSpan> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-to-newest of the surviving tail: ids 7..10.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, 7 + i);
+  }
+}
+
+TEST(FlightRecorderTest, DumpJsonCarriesReasonSpansAndContext) {
+  FlightRecorder recorder(/*capacity=*/8);
+  TraceSpan span;
+  span.request_id = "elm#1";
+  span.id = 2;
+  span.parent = 1;
+  span.name = "column";
+  span.end_us = 5;
+  recorder.Emit(span);
+  const std::string dump =
+      recorder.DumpJson("stall", 1234, "{\"requests\": []}");
+  EXPECT_EQ(dump.find("{\"flight_recorder\": {"), 0u);
+  EXPECT_NE(dump.find("\"reason\": \"stall\""), std::string::npos);
+  EXPECT_NE(dump.find("\"dumped_us\": 1234"), std::string::npos);
+  EXPECT_NE(dump.find("\"capacity\": 8"), std::string::npos);
+  EXPECT_NE(dump.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"column\""), std::string::npos);
+  EXPECT_NE(dump.find("\"context\": {\"requests\": []}"), std::string::npos);
+  // Empty context stays schema-valid JSON.
+  EXPECT_NE(recorder.DumpJson("drain_timeout", 1, "").find("\"context\": {}"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentEmitAndDumpAreSafe) {
+  // TSan leg: writers race Snapshot/DumpJson; the ring must never tear.
+  FlightRecorder recorder(/*capacity=*/32);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder] {
+      for (int i = 0; i < 2000; ++i) {
+        TraceSpan span;
+        span.request_id = "r";
+        span.id = static_cast<uint64_t>(i) + 1;
+        span.name = "work";
+        recorder.Emit(span);
+      }
+    });
+  }
+  for (int s = 0; s < 20; ++s) {
+    EXPECT_FALSE(recorder.DumpJson("race", s, "").empty());
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(recorder.recorded(), 8000u);
+  EXPECT_EQ(recorder.Snapshot().size(), 32u);
 }
 
 }  // namespace

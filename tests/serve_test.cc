@@ -685,7 +685,9 @@ TEST(ServiceObservabilityTest, TracingNeverPerturbsOutputOrOracleTraffic) {
             << "table " << t << " traced=" << traced;
       }
       backend_calls[traced] = service.stats().oracle.backend_calls;
-      if (traced == 1) EXPECT_GT(sink.count(), 0u);
+      if (traced == 1) {
+        EXPECT_GT(sink.count(), 0u);
+      }
     }
     EXPECT_EQ(backend_calls[0], backend_calls[1]);
   }
@@ -757,6 +759,188 @@ TEST(ServiceObservabilityTest, EventsCarryMonotonicSeqAndTimestamps) {
       EXPECT_GE(seen.ts[i], seen.ts[i - 1]);
     }
   }
+}
+
+TEST(ServiceObservabilityTest, RecorderAndProfilerNeverPerturbOutput) {
+  // ISSUE 10 acceptance at test scope: with the flight recorder AND the
+  // profiler on (the always-on diagnosis configuration), a traced run
+  // still produces byte-identical tables and identical backend traffic
+  // vs a run with the whole diagnosis layer off, across thread counts.
+  const std::vector<Table> originals = {MakeTable("Oak", 1, 6),
+                                        MakeTable("Pine", 2, 5)};
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    size_t backend_calls[2] = {0, 0};
+    for (int diagnosed = 0; diagnosed < 2; ++diagnosed) {
+      ServiceOptions options;
+      options.framework = TestFramework();
+      options.num_threads = threads;
+      options.enable_flight_recorder = diagnosed == 1;
+      options.enable_profiler = diagnosed == 1;
+      ApproveAllOracle oracle;
+      ConsolidationService service(&oracle, options);
+      CountingTraceSink sink;
+      std::vector<Table> tables = originals;
+      std::vector<uint64_t> handles;
+      for (Table& table : tables) {
+        RequestOptions request;
+        if (diagnosed == 1) request.trace_sink = &sink;
+        handles.push_back(service.Submit(&table, std::move(request)));
+      }
+      for (size_t t = 0; t < tables.size(); ++t) {
+        RequestResult result = service.Wait(handles[t]);
+        EXPECT_EQ(FingerprintConsolidation(tables[t], result.golden_records),
+                  baselines[t])
+            << "table " << t << " diagnosed=" << diagnosed;
+      }
+      backend_calls[diagnosed] = service.stats().oracle.backend_calls;
+      if (diagnosed == 1) {
+        // The diagnosis layer actually saw the spans it must not act on.
+        ASSERT_NE(service.flight_recorder(), nullptr);
+        ASSERT_NE(service.profiler(), nullptr);
+        EXPECT_GT(service.flight_recorder()->recorded(), 0u);
+        EXPECT_GT(service.profiler()->folded_spans(), 0u);
+        const auto totals = service.profiler()->TotalsByName();
+        EXPECT_EQ(totals.at("request").count, 2u);
+        EXPECT_GT(totals.count("column"), 0u);
+        // The profile gauges surface through the registry.
+        const std::string text = service.metrics().WriteText();
+        EXPECT_NE(text.find("ustl_profile_folded_spans"), std::string::npos);
+        EXPECT_NE(text.find("ustl_flight_recorder_spans"), std::string::npos);
+        EXPECT_NE(text.find("ustl_build_info{compiler=\""),
+                  std::string::npos);
+      }
+    }
+    EXPECT_EQ(backend_calls[0], backend_calls[1]);
+  }
+}
+
+TEST(ServiceObservabilityTest, TraceSamplingIsDeterministicAcrossThreads) {
+  // --trace-sample selects requests by content hash, so the sampled SET
+  // must be a pure function of the tables — identical across thread
+  // counts and runs — and sampling must not change a single output byte.
+  std::vector<Table> originals;
+  for (int i = 0; i < 8; ++i) {
+    originals.push_back(MakeTable("Samp" + std::to_string(i), 1, 4));
+  }
+  std::vector<std::string> baselines;
+  for (const Table& table : originals) {
+    baselines.push_back(SerialFingerprint(table));
+  }
+  std::vector<std::vector<bool>> sampled_by_threads;
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    ServiceOptions options;
+    options.framework = TestFramework();
+    options.num_threads = threads;
+    options.trace_sample = 2;
+    ApproveAllOracle oracle;
+    ConsolidationService service(&oracle, options);
+    // One sink per request: a sampled-away request leaves its own sink
+    // untouched, which is how we read the per-table decision back out.
+    std::vector<CountingTraceSink> sinks(originals.size());
+    std::vector<Table> tables = originals;
+    std::vector<uint64_t> handles;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      RequestOptions request;
+      request.trace_sink = &sinks[t];
+      handles.push_back(service.Submit(&tables[t], std::move(request)));
+    }
+    std::vector<bool> sampled(originals.size());
+    size_t sampled_count = 0;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      RequestResult result = service.Wait(handles[t]);
+      EXPECT_EQ(FingerprintConsolidation(tables[t], result.golden_records),
+                baselines[t])
+          << "table " << t;
+      sampled[t] = sinks[t].count() > 0;
+      sampled_count += sampled[t] ? 1 : 0;
+    }
+    // Every request was either sampled or counted as unsampled.
+    const std::string text = service.metrics().WriteText();
+    EXPECT_NE(text.find("ustl_trace_sampled_total " +
+                        std::to_string(sampled_count)),
+              std::string::npos);
+    EXPECT_NE(text.find("ustl_trace_unsampled_total " +
+                        std::to_string(originals.size() - sampled_count)),
+              std::string::npos);
+    sampled_by_threads.push_back(std::move(sampled));
+  }
+  EXPECT_EQ(sampled_by_threads[0], sampled_by_threads[1]);
+}
+
+TEST(ServiceObservabilityTest, DeadlineExceededFiresFlightDump) {
+  // A request that dies on its deadline must leave a diagnosis artifact:
+  // one flight-recorder dump whose JSON carries the reason, the recent
+  // span ring and the per-request progress table.
+  FaultPlan plan;
+  plan.slow_rate = 1.0;
+  plan.slow_ms = 25;
+  ApproveAllOracle backend;
+  FaultInjectingOracle slow(&backend, plan);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  std::vector<std::string> dumps;
+  options.flight_dump_sink = [&dumps](const std::string& dump) {
+    dumps.push_back(dump);
+  };
+  ConsolidationService service(&slow, options);
+  Table doomed = MakeTable("Slow", 1, 8);
+  RequestOptions request;
+  request.deadline_ms = 1;
+  RequestResult result = service.Wait(service.Submit(&doomed, request));
+  ASSERT_EQ(result.status, RequestStatus::kDeadlineExceeded);
+  ASSERT_EQ(dumps.size(), 1u);
+  const std::string& dump = dumps[0];
+  EXPECT_EQ(dump.find("{\"flight_recorder\": {"), 0u);
+  EXPECT_NE(dump.find("\"reason\": \"deadline_exceeded\""),
+            std::string::npos);
+  // The culprit is still in the progress table when the dump fires.
+  EXPECT_NE(dump.find("\"requests\": [{\"id\": 1,"), std::string::npos);
+  EXPECT_NE(dump.find("\"broker\": {\"pending\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"persist\": {\"wal_appends\":"), std::string::npos);
+  EXPECT_NE(service.metrics().WriteText().find("ustl_flight_dumps_total 1"),
+            std::string::npos);
+}
+
+TEST(ServiceObservabilityTest, StallWatchdogDumpsSlowRequestsOnce) {
+  // CheckStalls latches per request: a request older than the threshold
+  // triggers exactly one dump however often the watchdog polls.
+  FaultPlan plan;
+  plan.slow_rate = 1.0;
+  plan.slow_ms = 30;
+  ApproveAllOracle backend;
+  FaultInjectingOracle slow(&backend, plan);
+  ServiceOptions options;
+  options.framework = TestFramework();
+  options.num_threads = 1;
+  options.stall_threshold_ms = 5;
+  std::vector<std::string> dumps;
+  options.flight_dump_sink = [&dumps](const std::string& dump) {
+    dumps.push_back(dump);
+  };
+  ConsolidationService service(&slow, options);
+  Table slow_table = MakeTable("Stall", 1, 4);
+  const uint64_t handle = service.Submit(&slow_table);
+  // Poll past the threshold: the first check past 5 ms dumps, later
+  // checks see the latch and stay quiet.
+  size_t stalled = 0;
+  for (int i = 0; i < 100 && stalled == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stalled = service.CheckStalls();
+  }
+  EXPECT_EQ(stalled, 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(service.CheckStalls(), 0u);
+  }
+  RequestResult result = service.Wait(handle);
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("\"reason\": \"stall\""), std::string::npos);
 }
 
 TEST(ServiceShutdownTest, DrainRejectsNewSubmitsButFinishesInFlight) {

@@ -147,6 +147,50 @@ done
 grep -q "ustl_requests_completed_total" build/serve_metrics.prom
 echo "observability serve smoke: byte-identical + traces valid"
 
+# Deep-observability sweep (ISSUE 10 acceptance): the full diagnosis kit
+# armed — CPU-attributed profiling (--profile-out), deterministic 1-in-N
+# trace sampling (--trace-sample) and the always-on flight recorder with
+# a stall watchdog — must still match the serial baselines byte for byte
+# across threads {1,4} x codec {raw,block}. Each profile dump must pass
+# the conservation validator together with its collapsed-stack twin, the
+# sampled stream must stay structurally valid, and a clean run must dump
+# nothing (the recorder speaks only when something goes wrong).
+for threads in 1 4; do
+  for codec in raw block; do
+    : > build/serve_flight_clean.jsonl
+    ./build/ustl-serve --manifest build/serve_fwd.txt --threads "$threads" \
+      --index-codec "$codec" \
+      --profile-out "build/serve_profile_${threads}_${codec}.json" \
+      --trace-out "build/serve_sampled_${threads}_${codec}.jsonl" \
+      --trace-sample 2 \
+      --flight-dump build/serve_flight_clean.jsonl \
+      --stall-threshold-ms 60000
+    for t in a b c; do
+      cmp build/serve_$t.base.csv build/serve_$t.out.csv
+    done
+    python3 tools/check_trace.py \
+      "build/serve_sampled_${threads}_${codec}.jsonl" --min-requests 1
+    python3 tools/check_trace.py \
+      --profile "build/serve_profile_${threads}_${codec}.json" \
+      --folded "build/serve_profile_${threads}_${codec}.json.folded"
+    if [ -s build/serve_flight_clean.jsonl ]; then
+      echo "flight recorder dumped on a clean run"
+      exit 1
+    fi
+  done
+done
+# A forced deadline-exceeded request (every backend call slowed past a
+# 1 ms deadline) must leave schema-valid flight-recorder dumps with the
+# expected reason — post-hoc evidence with zero pre-arming. The service
+# drains cleanly (exit 0): a blown per-request deadline is a request
+# outcome, not a process failure.
+./build/ustl-serve --manifest build/serve_fwd.txt --threads 4 \
+  --deadline-ms 1 --fault-plan "slow=1.0,slow_ms=25,rate=0" \
+  --flight-dump build/serve_flight_deadline.jsonl
+python3 tools/check_trace.py --flight build/serve_flight_deadline.jsonl \
+  --min-dumps 1 --reason deadline_exceeded
+echo "deep-observability smoke: byte-identical + profile/flight valid"
+
 # Crash-recovery byte-compare (ISSUE 9 acceptance): a persisted run must
 # match the serial baselines, a warm restart over the same directory must
 # recover a nonzero record count and still match, and a SIGKILL planted
@@ -205,12 +249,14 @@ grep -q "ustl_requests_completed_total" build/drain_metrics.prom
 test -f build/persist_smoke/snapshot.bin
 echo "graceful drain smoke: clean exit + final snapshot"
 
-# Perf-regression gate (ISSUE 6 + ISSUE 7 acceptance): rerun the
+# Perf-regression gate (ISSUE 6 + 7 + 10 acceptance): rerun the
 # self-checking micro-kernel suite plus the robustness legs and gate
 # their hardware-independent metrics (speedup_vs_seed, compression_ratio,
 # zero allocs, nonzero skip/prune counters, retries recovered with
 # byte-identical output, breaker trips, bounded cancel latency, <=2%
-# zero-fault overhead) against the recorded BENCH_* trajectory.
+# zero-fault overhead, <=2% full-diagnosis observability overhead with
+# ring insertion and folding engaged) against the recorded BENCH_*
+# trajectory.
 # Set USTL_CHECK_SKIP_BENCH=1 to skip (e.g. on heavily loaded boxes).
 if [ "${USTL_CHECK_SKIP_BENCH:-0}" != "1" ]; then
   ./build/bench_micro_kernels > build/bench_fresh.json

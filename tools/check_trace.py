@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validates a --trace-out JSON-lines span stream (obs/trace.h schema).
+"""Validates ustl-serve observability artifacts (obs/ schemas).
 
-Spans arrive in emission order (children close before parents — RAII),
-so the whole file is buffered and grouped by request id before any
-structural check. Per request, the contract is:
+Default mode checks a --trace-out JSON-lines span stream (obs/trace.h
+schema). Spans arrive in emission order (children close before parents —
+RAII), so the whole file is buffered and grouped by request id before
+any structural check. Per request, the contract is:
 
   * exactly one root span named "request" with parent 0 and id 1
     (request closure: the stream must not end with the root missing);
@@ -11,10 +12,29 @@ structural check. Per request, the contract is:
     id (ids come from one per-request counter, and the parent is open
     when the child is created);
   * every non-zero parent resolves to a span of the same request;
-  * end_us >= start_us on every span (point events are equal), and a
-    child's interval is contained in its parent's.
+  * end_us >= start_us on every span (point events are equal), a
+    child's interval is contained in its parent's, and cpu_us sits in
+    [0, wall] (thread CPU can never exceed the wall interval; hand-
+    built cross-thread spans carry 0).
+
+--profile FILE validates a --profile-out JSON dump (obs/profile.h):
+every row carries path/name/count/wall_us/self_wall_us/cpu_us/
+self_cpu_us, inclusive >= exclusive >= 0, the name is the path's leaf
+segment, and folded_spans/dropped_spans are present.
+
+--folded FILE validates the collapsed-stack text next to it: every
+line is "path value" with a positive integer value, flamegraph.pl /
+speedscope input.
+
+--flight FILE validates a --flight-dump JSON-lines file: each line is
+one {"flight_recorder": {...}} dump with reason/dumped_us/capacity/
+recorded/spans/context, every ring span schema-checked like a trace
+span (no per-request structure: the ring is a cross-request tail), and
+context carrying the requests/broker/retry/persist progress objects.
 
 Usage: check_trace.py TRACE_FILE [--min-requests N]
+       check_trace.py --profile FILE [--folded FILE]
+       check_trace.py --flight FILE [--min-dumps N] [--reason R]
 """
 
 import argparse
@@ -22,10 +42,31 @@ import collections
 import json
 import sys
 
+SPAN_FIELDS = ("request", "id", "parent", "name", "start_us", "end_us",
+               "cpu_us")
+
+
+def check_span_fields(span, where, failures):
+    for field in SPAN_FIELDS:
+        if field not in span:
+            failures.append(f"{where}: missing '{field}'")
+            return False
+    wall = span["end_us"] - span["start_us"]
+    if wall < 0:
+        failures.append(
+            f"{where}: span {span['id']} ({span['name']}) ends before it "
+            f"starts: [{span['start_us']}, {span['end_us']}]")
+    if span["cpu_us"] < 0 or span["cpu_us"] > max(wall, 0):
+        failures.append(
+            f"{where}: span {span['id']} ({span['name']}) cpu_us "
+            f"{span['cpu_us']} outside [0, wall={wall}]")
+    return True
+
 
 def load_spans(path):
     """Returns {request_id: [span, ...]}, rejecting malformed lines."""
     per_request = collections.OrderedDict()
+    failures = []
     with open(path, "r", encoding="utf-8") as handle:
         for number, line in enumerate(handle, 1):
             line = line.strip()
@@ -36,13 +77,10 @@ def load_spans(path):
             except json.JSONDecodeError as error:
                 raise SystemExit(
                     f"check_trace: {path}:{number}: not JSON: {error}")
-            for field in ("request", "id", "parent", "name", "start_us",
-                          "end_us"):
-                if field not in span:
-                    raise SystemExit(
-                        f"check_trace: {path}:{number}: missing '{field}'")
+            if not check_span_fields(span, f"{path}:{number}", failures):
+                raise SystemExit(f"check_trace: {failures[-1]}")
             per_request.setdefault(span["request"], []).append(span)
-    return per_request
+    return per_request, failures
 
 
 def check_request(request_id, spans, failures):
@@ -64,10 +102,6 @@ def check_request(request_id, spans, failures):
             f"{request_id}: root span id is {roots[0]['id']}, expected 1")
 
     for span in spans:
-        if span["end_us"] < span["start_us"]:
-            failures.append(
-                f"{request_id}: span {span['id']} ({span['name']}) ends "
-                f"before it starts: [{span['start_us']}, {span['end_us']}]")
         if span["parent"] == 0:
             continue
         parent = by_id.get(span["parent"])
@@ -89,33 +123,199 @@ def check_request(request_id, spans, failures):
                 f"[{parent['start_us']}, {parent['end_us']}]")
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="JSON-lines span file (--trace-out)")
-    parser.add_argument("--min-requests", type=int, default=1,
-                        help="fail unless at least N requests were traced")
-    args = parser.parse_args()
+def check_profile(path, failures):
+    """Validates a --profile-out dump; returns the row count."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            dump = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"check_trace: {path}: not JSON: {error}")
+    for field in ("profile", "folded_spans", "dropped_spans"):
+        if field not in dump:
+            failures.append(f"{path}: missing '{field}'")
+            return 0
+    rows = dump["profile"]
+    previous_path = None
+    for index, row in enumerate(rows):
+        where = f"{path}: row {index}"
+        missing = [f for f in ("path", "name", "count", "wall_us",
+                               "self_wall_us", "cpu_us", "self_cpu_us")
+                   if f not in row]
+        if missing:
+            failures.append(f"{where}: missing {missing}")
+            continue
+        leaf = row["path"].rsplit(";", 1)[-1]
+        if row["name"] != leaf:
+            failures.append(
+                f"{where}: name '{row['name']}' is not the path leaf "
+                f"'{leaf}'")
+        if row["count"] <= 0:
+            failures.append(f"{where}: nonpositive count {row['count']}")
+        for inclusive, exclusive in (("wall_us", "self_wall_us"),
+                                     ("cpu_us", "self_cpu_us")):
+            if row[exclusive] < 0:
+                failures.append(
+                    f"{where}: negative {exclusive} {row[exclusive]}")
+            if row[inclusive] < row[exclusive]:
+                failures.append(
+                    f"{where}: {inclusive} {row[inclusive]} < {exclusive} "
+                    f"{row[exclusive]} (inclusive must cover exclusive)")
+        if previous_path is not None and row["path"] <= previous_path:
+            failures.append(f"{where}: paths not strictly sorted")
+        previous_path = row["path"]
+    return len(rows)
 
-    per_request = load_spans(args.trace)
-    if len(per_request) < args.min_requests:
-        print(f"check_trace: only {len(per_request)} traced request(s), "
-              f"expected >= {args.min_requests}", file=sys.stderr)
-        return 1
 
-    failures = []
-    spans = 0
-    for request_id, request_spans in per_request.items():
-        spans += len(request_spans)
-        check_request(request_id, request_spans, failures)
+def check_folded(path, failures):
+    """Validates collapsed-stack text; returns the line count."""
+    lines = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            lines += 1
+            where = f"{path}:{number}"
+            head, sep, value = line.rpartition(" ")
+            if not sep or not head:
+                failures.append(f"{where}: expected 'path value'")
+                continue
+            if not value.isdigit() or int(value) <= 0:
+                failures.append(
+                    f"{where}: value '{value}' is not a positive integer")
+    return lines
 
+
+def check_flight(path, failures):
+    """Validates a --flight-dump JSON-lines file; returns (dumps, reasons)."""
+    dumps = 0
+    reasons = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{number}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"check_trace: {where}: not JSON: {error}")
+            dump = record.get("flight_recorder")
+            if not isinstance(dump, dict):
+                failures.append(f"{where}: missing 'flight_recorder' object")
+                continue
+            dumps += 1
+            missing = [f for f in ("reason", "dumped_us", "capacity",
+                                   "recorded", "spans", "context")
+                       if f not in dump]
+            if missing:
+                failures.append(f"{where}: missing {missing}")
+                continue
+            reasons.append(dump["reason"])
+            if len(dump["spans"]) > dump["capacity"]:
+                failures.append(
+                    f"{where}: {len(dump['spans'])} ring spans exceed "
+                    f"capacity {dump['capacity']}")
+            if dump["recorded"] < len(dump["spans"]):
+                failures.append(
+                    f"{where}: recorded {dump['recorded']} < ring size "
+                    f"{len(dump['spans'])}")
+            for index, span in enumerate(dump["spans"]):
+                check_span_fields(span, f"{where}: ring span {index}",
+                                  failures)
+            context = dump["context"]
+            if not isinstance(context, dict):
+                failures.append(f"{where}: context is not an object")
+                continue
+            if context:  # {} is the valid empty-context form
+                for section in ("requests", "broker", "retry", "persist"):
+                    if section not in context:
+                        failures.append(
+                            f"{where}: context missing '{section}'")
+                for request in context.get("requests", []):
+                    for field in ("id", "label", "columns", "dispatched",
+                                  "completed", "age_us"):
+                        if field not in request:
+                            failures.append(
+                                f"{where}: progress entry missing "
+                                f"'{field}'")
+    return dumps, reasons
+
+
+def finish(failures, ok_message):
     if failures:
         print(f"check_trace: {len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"check_trace: {spans} span(s) across {len(per_request)} "
-          f"request(s) OK")
+    print(ok_message)
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="JSON-lines span file (--trace-out)")
+    parser.add_argument("--min-requests", type=int, default=1,
+                        help="fail unless at least N requests were traced")
+    parser.add_argument("--profile",
+                        help="validate a --profile-out JSON dump instead")
+    parser.add_argument("--folded",
+                        help="with --profile: also validate the collapsed-"
+                             "stack text file")
+    parser.add_argument("--flight",
+                        help="validate a --flight-dump JSON-lines file "
+                             "instead")
+    parser.add_argument("--min-dumps", type=int, default=1,
+                        help="with --flight: fail unless at least N dumps")
+    parser.add_argument("--reason",
+                        help="with --flight: require at least one dump "
+                             "with this reason")
+    args = parser.parse_args()
+
+    failures = []
+    if args.profile:
+        rows = check_profile(args.profile, failures)
+        folded_lines = 0
+        if args.folded:
+            folded_lines = check_folded(args.folded, failures)
+        if rows == 0:
+            failures.append(f"{args.profile}: empty profile table")
+        return finish(failures,
+                      f"check_trace: profile OK ({rows} path(s), "
+                      f"{folded_lines} folded line(s))")
+
+    if args.flight:
+        dumps, reasons = check_flight(args.flight, failures)
+        if dumps < args.min_dumps:
+            failures.append(
+                f"{args.flight}: only {dumps} dump(s), expected >= "
+                f"{args.min_dumps}")
+        if args.reason and args.reason not in reasons:
+            failures.append(
+                f"{args.flight}: no dump with reason '{args.reason}' "
+                f"(saw {sorted(set(reasons))})")
+        return finish(failures,
+                      f"check_trace: {dumps} flight dump(s) OK "
+                      f"(reasons: {sorted(set(reasons))})")
+
+    if not args.trace:
+        parser.error("TRACE_FILE required unless --profile/--flight given")
+
+    per_request, failures = load_spans(args.trace)
+    if len(per_request) < args.min_requests:
+        print(f"check_trace: only {len(per_request)} traced request(s), "
+              f"expected >= {args.min_requests}", file=sys.stderr)
+        return 1
+
+    spans = 0
+    for request_id, request_spans in per_request.items():
+        spans += len(request_spans)
+        check_request(request_id, request_spans, failures)
+
+    return finish(failures,
+                  f"check_trace: {spans} span(s) across {len(per_request)} "
+                  f"request(s) OK")
 
 
 if __name__ == "__main__":

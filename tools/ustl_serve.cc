@@ -105,6 +105,10 @@ struct Args {
   std::string persist_dir;    // durable warm state dir; empty = volatile
   std::string fsync = "batch";      // WAL policy: none|batch|always
   std::string crash_point;    // kill-test failpoint spec; empty = off
+  std::string profile_out;    // CPU profile JSON (+ .folded); empty = off
+  uint64_t trace_sample = 0;  // trace 1-in-N by content hash; 0/1 = all
+  std::string flight_dump;    // flight-recorder dump file; empty = stderr-less
+  int64_t stall_threshold_ms = 0;  // stall watchdog threshold; 0 = off
 };
 
 // Set by the SIGTERM/SIGINT handler (an atomic store is async-signal-
@@ -124,6 +128,11 @@ class ShutdownWatcher {
       std::unique_lock<std::mutex> lock(mutex_);
       while (!cv_.wait_for(lock, std::chrono::milliseconds(25),
                            [this] { return done_; })) {
+        lock.unlock();
+        // Stall watchdog rides the same 25ms tick: a no-op unless
+        // --stall-threshold-ms armed it, one latched dump per request.
+        service->CheckStalls();
+        lock.lock();
         if (g_shutdown.load(std::memory_order_relaxed)) {
           lock.unlock();
           service->Shutdown(/*drain=*/true);
@@ -186,6 +195,23 @@ void Usage() {
       "                   SIGKILL the process at the N-th wal_append /\n"
       "                   wal_mid_record / snapshot_temp / snapshot_rename;\n"
       "                   testing only)]\n"
+      "                  [--profile-out FILE (enable the CPU-attributed\n"
+      "                   profiler; at exit write the per-span-path\n"
+      "                   inclusive/exclusive wall+CPU table as JSON to\n"
+      "                   FILE and collapsed-stack text — flamegraph.pl /\n"
+      "                   speedscope input — to FILE.folded)]\n"
+      "                  [--trace-sample N (with --trace-out: trace only\n"
+      "                   requests whose table content hash is 0 mod N —\n"
+      "                   a pure function of content, so the sampled set\n"
+      "                   is identical across threads and runs; 0/1 =\n"
+      "                   trace everything)]\n"
+      "                  [--flight-dump FILE (append flight-recorder dumps\n"
+      "                   — recent-span ring + per-request progress, one\n"
+      "                   JSON object per line — on deadline-exceeded /\n"
+      "                   errored requests, stalls and drain timeouts)]\n"
+      "                  [--stall-threshold-ms N (default: 0 = off; dump\n"
+      "                   the flight recorder when a request has been in\n"
+      "                   flight longer than N ms, once per request)]\n"
       "\n"
       "SIGTERM/SIGINT drain gracefully: in-flight tables finish and are\n"
       "written, new submits are rejected with status shutting_down, the\n"
@@ -447,6 +473,15 @@ int main(int argc, char** argv) {
       args.fsync = next("--fsync");
     } else if (std::strcmp(argv[i], "--crash-point") == 0) {
       args.crash_point = next("--crash-point");
+    } else if (std::strcmp(argv[i], "--profile-out") == 0) {
+      args.profile_out = next("--profile-out");
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
+      args.trace_sample = std::strtoull(next("--trace-sample"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0) {
+      args.flight_dump = next("--flight-dump");
+    } else if (std::strcmp(argv[i], "--stall-threshold-ms") == 0) {
+      args.stall_threshold_ms =
+          std::strtoll(next("--stall-threshold-ms"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage();
@@ -504,6 +539,33 @@ int main(int argc, char** argv) {
       args.search_cache == "on";
   service_options.framework.grouping.index_codec =
       args.index_codec == "block" ? IndexCodec::kBlock : IndexCodec::kRaw;
+  // Diagnosis layer: the profiler folds every request's spans when
+  // --profile-out asks for it; head sampling thins only the user trace
+  // stream; the flight recorder (always on) dumps through the sink
+  // below. The dump file must outlive the service — the destructor's
+  // drain can still fire a drain_timeout dump.
+  service_options.enable_profiler = !args.profile_out.empty();
+  service_options.trace_sample = args.trace_sample;
+  service_options.stall_threshold_ms = args.stall_threshold_ms;
+  std::unique_ptr<std::ofstream> flight_stream;
+  auto flight_mutex = std::make_shared<std::mutex>();
+  if (!args.flight_dump.empty()) {
+    flight_stream = std::make_unique<std::ofstream>(args.flight_dump);
+    if (!*flight_stream) {
+      std::fprintf(stderr, "cannot open --flight-dump %s\n",
+                   args.flight_dump.c_str());
+      return 1;
+    }
+    std::ofstream* stream = flight_stream.get();
+    service_options.flight_dump_sink = [stream,
+                                        flight_mutex](const std::string& dump) {
+      // Dumps fire from worker threads and the watchdog concurrently;
+      // serialize so each lands as one intact JSON line.
+      std::lock_guard<std::mutex> lock(*flight_mutex);
+      *stream << dump << "\n";
+      stream->flush();
+    };
+  }
   // Oracle chain: approve-all backend, optionally wrapped in seeded fault
   // injection (--fault-plan), in which case the service fronts it with a
   // retry/breaker decorator so eventually-successful plans still produce
@@ -674,5 +736,15 @@ int main(int argc, char** argv) {
   scraper.reset();  // stop the periodic thread before the final scrape
   if (!args.metrics_out.empty()) scrape_metrics();
   if (trace_stream) trace_stream->flush();
+  if (!args.profile_out.empty() && service.profiler() != nullptr) {
+    // The drain above closed every span, so the table is final. JSON for
+    // tooling, collapsed-stack text for flamegraph.pl / speedscope.
+    Status status =
+        WriteFileAtomic(args.profile_out, service.profiler()->WriteJson());
+    if (!status.ok()) return Fail(status);
+    status = WriteFileAtomic(args.profile_out + ".folded",
+                             service.profiler()->WriteFolded());
+    if (!status.ok()) return Fail(status);
+  }
   return 0;
 }
